@@ -1,0 +1,64 @@
+// Command mcsbench regenerates the paper-reproduction experiments: one per
+// figure (F1–F5) and table (T1–T5) of the paper, plus the derived
+// quantitative experiments (D1–D6). It prints the same rows/series that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	mcsbench -experiment all          # run everything (full sizes)
+//	mcsbench -experiment F5 -quick    # one experiment at unit-test scale
+//	mcsbench -list                    # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcs/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("mcsbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id (F1..F5, T1..T5, D1..D6) or 'all'")
+		quick      = fs.Bool("quick", false, "run at reduced (unit-test) scale")
+		seed       = fs.Int64("seed", 0, "override the experiment seed (0 = per-experiment default)")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := experiments.IDs()
+	if !strings.EqualFold(*experiment, "all") {
+		ids = []string{strings.ToUpper(*experiment)}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := rep.Fprint(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command mcstrace generates and inspects GWA-style workload traces (paper
+// ref [139], the Grid Workloads Archive).
+//
+// Usage:
+//
+//	mcstrace gen -jobs 500 -pattern bursty -shape dag -out trace.gwf
+//	mcstrace info trace.gwf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"mcs/internal/trace"
+	"mcs/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mcstrace <gen|info> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		jobs    = fs.Int("jobs", 200, "number of jobs")
+		pattern = fs.String("pattern", "poisson", "arrival pattern: poisson, bursty, diurnal")
+		shape   = fs.String("shape", "bag", "job shape: bag, chain, forkjoin, dag")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		outPath = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.GeneratorConfig{Jobs: *jobs}
+	switch *pattern {
+	case "poisson":
+		cfg.Arrival = workload.Poisson{RatePerHour: 120}
+	case "bursty":
+		cfg.Arrival = &workload.MMPP2{
+			CalmRatePerHour: 30, BurstRatePerHour: 600,
+			MeanCalm: time.Hour, MeanBurst: 10 * time.Minute,
+		}
+	case "diurnal":
+		cfg.Arrival = &workload.Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}
+	default:
+		return fmt.Errorf("unknown pattern %q", *pattern)
+	}
+	switch *shape {
+	case "bag":
+		cfg.Shape = workload.BagOfTasks
+	case "chain":
+		cfg.Shape = workload.Chain
+	case "forkjoin":
+		cfg.Shape = workload.ForkJoin
+	case "dag":
+		cfg.Shape = workload.RandomDAG
+	default:
+		return fmt.Errorf("unknown shape %q", *shape)
+	}
+	w, err := workload.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	dst := out
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	return trace.Write(dst, w)
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mcstrace info <trace.gwf>")
+	}
+	file, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	w, err := trace.Read(file)
+	if err != nil {
+		return err
+	}
+	s := trace.Analyze(w)
+	fmt.Fprintf(out, "jobs:            %d\n", s.Jobs)
+	fmt.Fprintf(out, "tasks:           %d\n", s.Tasks)
+	fmt.Fprintf(out, "users:           %d\n", s.Users)
+	fmt.Fprintf(out, "span:            %s\n", s.Span.Round(time.Second))
+	fmt.Fprintf(out, "runtime (s):     %s\n", s.RuntimeSeconds)
+	fmt.Fprintf(out, "tasks/job:       %s\n", s.TasksPerJob)
+	fmt.Fprintf(out, "interarrival(s): %s\n", s.InterarrivalSeconds)
+	fmt.Fprintf(out, "burstiness:      %.3f\n", s.Burstiness)
+	fmt.Fprintf(out, "top-user share:  %.3f\n", s.TopUserShare)
+	fmt.Fprintf(out, "vicissitude:     %.3f\n", s.Vicissitude)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.gwf")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "25", "-pattern", "bursty", "-shape", "dag", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"info", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"jobs:", "25", "burstiness:", "top-user share:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("info output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "3", "-pattern", "poisson", "-shape", "chain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# MCS grid workload format") {
+		t.Errorf("unexpected header: %q", out.String()[:40])
+	}
+}
+
+func TestGenDiurnalAndForkJoin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "5", "-pattern", "diurnal", "-shape", "forkjoin"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"gen", "-pattern", "nope"},
+		{"gen", "-shape", "nope"},
+		{"info"},
+		{"info", "/does/not/exist.gwf"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

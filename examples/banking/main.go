@@ -1,0 +1,64 @@
+// Future banking (paper §6.4): PSD2-style deadline clearing. The example
+// pushes a day of payment transactions — diurnal load with an end-of-business
+// spike, a mix of instant (10 s) and same-hour (1 h) deadlines — through the
+// four-stage clearing pipeline, comparing deadline-oblivious FCFS with
+// deadline-aware EDF, and audits the ledger conservation invariant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mcs/internal/banking"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 100k transactions/day pushes the end-of-business spike close to the
+	// fraud-screening stage's capacity, where the disciplines diverge.
+	txs := banking.GenerateTransactions(100000, 0.5, 9)
+
+	fmt.Println("discipline  completed  miss-rate  mean-latency  p95-latency  mean-lateness")
+	for _, disc := range []banking.QueueDiscipline{banking.FCFS, banking.EDF} {
+		res, err := banking.RunClearing(banking.DefaultPipeline(), txs, disc, 9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s  %9d  %9.4f  %12s  %11s  %13s\n",
+			disc, res.Completed, res.MissRate,
+			res.MeanLatency.Round(time.Millisecond),
+			res.P95Latency.Round(time.Millisecond),
+			res.MeanLateness.Round(time.Millisecond))
+	}
+
+	// The regulated-industry audit: settle the transactions on a ledger and
+	// verify conservation.
+	ledger := banking.NewLedger()
+	if err := ledger.Open("clearing-house", 1_000_000_000); err != nil {
+		return err
+	}
+	if err := ledger.Open("merchants", 0); err != nil {
+		return err
+	}
+	settled := 0
+	for _, tx := range txs {
+		if err := ledger.Transfer("clearing-house", "merchants", tx.Cents); err != nil {
+			break // liquidity exhausted; stop settling
+		}
+		settled++
+	}
+	if err := ledger.CheckConservation(); err != nil {
+		return fmt.Errorf("AUDIT FAILED: %w", err)
+	}
+	fmt.Printf("\nledger audit: %d/%d transactions settled, conservation holds (total %d cents)\n",
+		settled, len(txs), ledger.Total())
+	fmt.Println("\nreading: EDF meets more PSD2 deadlines than FCFS at identical load —")
+	fmt.Println("RM&S as the key building block for regulated NFRs (paper §6.4).")
+	return nil
+}

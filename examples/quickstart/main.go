@@ -1,0 +1,62 @@
+// Quickstart: simulate a small datacenter executing a synthetic workload and
+// print the headline metrics. This is the smallest end-to-end use of the
+// toolkit: generate a workload, build a cluster, pick scheduling policies,
+// run, inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/opendc"
+	"mcs/internal/sched"
+	"mcs/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A workload: 200 bag-of-tasks jobs arriving as a Poisson stream.
+	w, err := workload.Generate(workload.GeneratorConfig{
+		Jobs:    200,
+		Arrival: workload.Poisson{RatePerHour: 120},
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+
+	// 2. A cluster: 16 commodity machines in racks of 8.
+	cluster := dcmodel.NewHomogeneous("quickstart", 16, dcmodel.ClassCommodity, 8)
+
+	// 3. Policies: shortest-job-first with EASY backfilling, best-fit packing.
+	res, err := opendc.Run(&opendc.Scenario{
+		Cluster:  cluster,
+		Workload: w,
+		Sched: sched.Config{
+			Queue:     sched.SJF{},
+			Placement: sched.BestFit{},
+			Mode:      sched.EASY,
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. The metrics datacenter studies report.
+	fmt.Printf("jobs:        %d (%d tasks)\n", len(w.Jobs), w.TaskCount())
+	fmt.Printf("completed:   %d, failed: %d\n", res.Completed, res.Failed)
+	fmt.Printf("makespan:    %s\n", res.Makespan.Round(time.Second))
+	fmt.Printf("mean wait:   %s (p95 %s)\n", res.MeanWait.Round(time.Millisecond), res.P95Wait.Round(time.Millisecond))
+	fmt.Printf("slowdown:    %.2f mean, %.2f p95\n", res.MeanSlowdown, res.P95Slowdown)
+	fmt.Printf("utilization: %.1f%%\n", res.Utilization*100)
+	fmt.Printf("energy:      %.1f kWh\n", res.EnergyKWh)
+	return nil
+}

@@ -1,0 +1,232 @@
+package banking
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+func TestLedgerOpenAndTransfer(t *testing.T) {
+	l := NewLedger()
+	if err := l.Open("alice", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Open("bob", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer("alice", "bob", 300); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l.Balance("alice")
+	b, _ := l.Balance("bob")
+	if a != 700 || b != 800 {
+		t.Errorf("balances %d/%d, want 700/800", a, b)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entries()) != 1 {
+		t.Error("entry log wrong")
+	}
+}
+
+func TestLedgerRejections(t *testing.T) {
+	l := NewLedger()
+	if err := l.Open("a", -1); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("negative opening: %v", err)
+	}
+	l.Open("a", 100)
+	if err := l.Open("a", 0); err == nil {
+		t.Error("duplicate account accepted")
+	}
+	l.Open("b", 0)
+	if err := l.Transfer("a", "b", 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero transfer: %v", err)
+	}
+	if err := l.Transfer("a", "b", 101); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("overdraft: %v", err)
+	}
+	if err := l.Transfer("ghost", "b", 1); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("unknown from: %v", err)
+	}
+	if err := l.Transfer("a", "ghost", 1); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("unknown to: %v", err)
+	}
+	if _, err := l.Balance("ghost"); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("unknown balance: %v", err)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conservation holds under arbitrary transfer sequences, accepted
+// or rejected.
+func TestLedgerConservationProperty(t *testing.T) {
+	prop := func(seed int64, ops []uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := NewLedger()
+		accounts := []AccountID{"a", "b", "c", "d"}
+		for _, id := range accounts {
+			if err := l.Open(id, int64(r.Intn(10000))); err != nil {
+				return false
+			}
+		}
+		want := l.Total()
+		for _, op := range ops {
+			from := accounts[int(op)%len(accounts)]
+			to := accounts[int(op/7)%len(accounts)]
+			amount := int64(op%997) - 100 // includes invalid amounts
+			_ = l.Transfer(from, to, amount)
+			if l.Total() != want || l.CheckConservation() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fastPipeline() []Stage {
+	return []Stage{
+		{Name: "validate", Servers: 2, ServiceSeconds: stats.Deterministic{Value: 1}},
+		{Name: "settle", Servers: 1, ServiceSeconds: stats.Deterministic{Value: 2}},
+	}
+}
+
+func TestRunClearingLatencyOfUnloadedPipeline(t *testing.T) {
+	txs := []Transaction{{ID: 1, Arrive: 0, Deadline: 10 * time.Second}}
+	res, err := RunClearing(fastPipeline(), txs, FCFS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.DeadlineMiss != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if res.MeanLatency != 3*time.Second {
+		t.Errorf("latency=%v, want 3s", res.MeanLatency)
+	}
+}
+
+func TestRunClearingDetectsMisses(t *testing.T) {
+	// Settlement is a 2s single server; five simultaneous transactions with
+	// 4s deadlines: the later ones must miss.
+	var txs []Transaction
+	for i := 0; i < 5; i++ {
+		txs = append(txs, Transaction{ID: i + 1, Arrive: 0, Deadline: 4 * time.Second})
+	}
+	res, err := RunClearing(fastPipeline(), txs, FCFS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 5 {
+		t.Fatalf("completed=%d", res.Completed)
+	}
+	if res.DeadlineMiss == 0 {
+		t.Error("no misses detected under overload")
+	}
+	if res.MeanLateness <= 0 {
+		t.Error("lateness not measured")
+	}
+	if res.MaxQueueDepth == 0 {
+		t.Error("queue depth not tracked")
+	}
+}
+
+// The §6.4 headline: EDF meets more mixed-deadline transactions than FCFS
+// under the same load.
+func TestEDFBeatsFCFSOnMixedDeadlines(t *testing.T) {
+	txs := GenerateTransactions(3000, 0.5, 3)
+	fcfs, err := RunClearing(DefaultPipeline(), txs, FCFS, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf, err := RunClearing(DefaultPipeline(), txs, EDF, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcfs.Completed != len(txs) || edf.Completed != len(txs) {
+		t.Fatalf("transactions lost: %d/%d of %d", fcfs.Completed, edf.Completed, len(txs))
+	}
+	if edf.MissRate > fcfs.MissRate {
+		t.Errorf("EDF miss rate %v above FCFS %v", edf.MissRate, fcfs.MissRate)
+	}
+}
+
+func TestRunClearingValidation(t *testing.T) {
+	if _, err := RunClearing(nil, nil, FCFS, 1); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if _, err := RunClearing([]Stage{{Name: "x"}}, nil, FCFS, 1); err == nil {
+		t.Error("misconfigured stage accepted")
+	}
+	res, err := RunClearing(fastPipeline(), nil, FCFS, 1)
+	if err != nil || res.Completed != 0 {
+		t.Errorf("empty workload: %v %+v", err, res)
+	}
+}
+
+func TestGenerateTransactions(t *testing.T) {
+	txs := GenerateTransactions(2000, 0.3, 9)
+	if len(txs) != 2000 {
+		t.Fatalf("n=%d", len(txs))
+	}
+	instant := 0
+	spike := 0
+	for i, tx := range txs {
+		if i > 0 && tx.Arrive < txs[i-1].Arrive {
+			t.Fatal("transactions not sorted")
+		}
+		if tx.Cents < 1 {
+			t.Fatal("non-positive amount")
+		}
+		if tx.Deadline-tx.Arrive == 10*time.Second {
+			instant++
+		}
+		if tx.Arrive >= 17*time.Hour && tx.Arrive < 18*time.Hour {
+			spike++
+		}
+	}
+	share := float64(instant) / float64(len(txs))
+	if share < 0.25 || share > 0.35 {
+		t.Errorf("instant share=%v, want ≈0.3", share)
+	}
+	// End-of-business spike: the 17:00 hour holds far more than 1/24 of load.
+	if float64(spike)/float64(len(txs)) < 0.15 {
+		t.Errorf("spike share=%v, want ≥0.15", float64(spike)/float64(len(txs)))
+	}
+	if (FCFS).String() == "" || (EDF).String() == "" || QueueDiscipline(9).String() == "" {
+		t.Error("discipline names")
+	}
+}
+
+func TestClearingDeterministicPerSeed(t *testing.T) {
+	txs := GenerateTransactions(500, 0.5, 4)
+	a, err := RunClearing(DefaultPipeline(), txs, EDF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClearing(DefaultPipeline(), txs, EDF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MissRate != b.MissRate || a.MeanLatency != b.MeanLatency {
+		t.Error("same-seed clearing runs diverge")
+	}
+}
+
+func BenchmarkClearingDay(b *testing.B) {
+	txs := GenerateTransactions(5000, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunClearing(DefaultPipeline(), txs, EDF, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

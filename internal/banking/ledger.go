@@ -1,0 +1,124 @@
+// Package banking models the future-of-banking ecosystem of paper §6.4: a
+// transaction ledger with strict conservation invariants (the validation
+// burden the paper describes for regulated industries) and a PSD2-style
+// clearing pipeline in which payment transactions must complete within
+// regulatory deadlines — "PSD2 enforces strict performance targets,
+// including deadlines in clearing financial transactions".
+package banking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// AccountID identifies a ledger account.
+type AccountID string
+
+// Ledger is an in-memory double-entry account book. Amounts are integer
+// cents: money must never be created or destroyed by rounding (the
+// conservation invariant property tests enforce).
+type Ledger struct {
+	balances map[AccountID]int64
+	total    int64
+	entries  []Entry
+}
+
+// Entry is one committed transfer.
+type Entry struct {
+	From, To AccountID
+	Cents    int64
+}
+
+// Errors returned by ledger operations.
+var (
+	ErrUnknownAccount    = errors.New("banking: unknown account")
+	ErrInsufficientFunds = errors.New("banking: insufficient funds")
+	ErrBadAmount         = errors.New("banking: non-positive amount")
+)
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[AccountID]int64)}
+}
+
+// Open creates an account with an opening balance (must be non-negative).
+func (l *Ledger) Open(id AccountID, openingCents int64) error {
+	if openingCents < 0 {
+		return fmt.Errorf("%w: opening balance %d", ErrBadAmount, openingCents)
+	}
+	if _, ok := l.balances[id]; ok {
+		return fmt.Errorf("banking: account %q already open", id)
+	}
+	l.balances[id] = openingCents
+	l.total += openingCents
+	return nil
+}
+
+// Balance returns an account balance.
+func (l *Ledger) Balance(id AccountID) (int64, error) {
+	b, ok := l.balances[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAccount, id)
+	}
+	return b, nil
+}
+
+// Transfer moves cents from one account to another atomically. Overdrafts
+// are rejected (no money creation).
+func (l *Ledger) Transfer(from, to AccountID, cents int64) error {
+	if cents <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, cents)
+	}
+	fb, ok := l.balances[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccount, from)
+	}
+	if _, ok := l.balances[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccount, to)
+	}
+	if fb < cents {
+		return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, from, fb, cents)
+	}
+	l.balances[from] -= cents
+	l.balances[to] += cents
+	l.entries = append(l.entries, Entry{From: from, To: to, Cents: cents})
+	return nil
+}
+
+// Total returns the sum of all balances; it must equal the sum of opening
+// balances forever (conservation).
+func (l *Ledger) Total() int64 { return l.total }
+
+// CheckConservation recomputes the balance sum and verifies it against the
+// tracked total — the audit the paper's regulated-industry framing requires.
+func (l *Ledger) CheckConservation() error {
+	var sum int64
+	for _, b := range l.balances {
+		sum += b
+	}
+	if sum != l.total {
+		return fmt.Errorf("banking: conservation violated: balances sum to %d, want %d", sum, l.total)
+	}
+	for _, b := range l.balances {
+		if b < 0 {
+			return errors.New("banking: negative balance")
+		}
+	}
+	return nil
+}
+
+// Accounts returns all account ids, sorted.
+func (l *Ledger) Accounts() []AccountID {
+	out := make([]AccountID, 0, len(l.balances))
+	for id := range l.balances {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entries returns a copy of the committed transfer log.
+func (l *Ledger) Entries() []Entry {
+	return append([]Entry(nil), l.entries...)
+}

@@ -1,0 +1,268 @@
+package ecosystem
+
+// This file encodes the paper's figures as data: the big-data ecosystem of
+// Figure 1, the technology-evolution lineage of Figure 2, the datacenter
+// reference architecture of Figure 3, the online-gaming functional
+// architecture of Figure 4, and the FaaS reference architecture of Figure 5.
+// Consistency tests in figures_test.go keep the encodings faithful, and the
+// experiment harness (internal/experiments) executes workloads against them.
+
+// Layer names of the Figure-1 big-data reference architecture (top first).
+const (
+	LayerHLL     = "high-level language"
+	LayerModel   = "programming model"
+	LayerExec    = "execution engine"
+	LayerStorage = "storage engine"
+)
+
+// BigDataArchitecture returns the four-layer reference architecture of
+// Figure 1.
+func BigDataArchitecture() *ReferenceArchitecture {
+	return &ReferenceArchitecture{
+		Name:   "big-data ecosystem (Figure 1)",
+		Layers: []string{LayerHLL, LayerModel, LayerExec, LayerStorage},
+		// Applications can program directly against a model ("the
+		// highlighted components cover the minimum set of layers"), so the
+		// HLL layer is optional.
+		Optional: map[string]bool{LayerHLL: true},
+	}
+}
+
+// Capabilities used by the Figure-1 catalog.
+const (
+	CapSQLLike     Capability = "sql-like-queries"
+	CapMapReduce   Capability = "mapreduce-model"
+	CapBSPGraph    Capability = "bsp-graph-model"
+	CapDataflow    Capability = "dataflow-model"
+	CapBatchExec   Capability = "batch-exec"
+	CapGraphExec   Capability = "graph-exec"
+	CapDFS         Capability = "distributed-fs"
+	CapObjectStore Capability = "object-store"
+	CapKVStore     Capability = "kv-store"
+)
+
+// BigDataCatalog returns the Figure-1 component catalog. Origins name the
+// systems the figure depicts; NFR sheets are representative order-of-
+// magnitude values used by the navigation experiments (not measurements of
+// the named systems).
+func BigDataCatalog() *Catalog {
+	return NewCatalog([]*Component{
+		// High-Level Language layer.
+		{Name: "hive", Origin: "Apache Hive", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapMapReduce},
+			Props: NFR{MetricLatencyMS: 500, MetricThroughput: 800, MetricAvailability: 0.999, MetricCostPerHour: 2}},
+		{Name: "pig", Origin: "Apache Pig", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapMapReduce},
+			Props: NFR{MetricLatencyMS: 600, MetricThroughput: 700, MetricAvailability: 0.999, MetricCostPerHour: 2}},
+		{Name: "jaql", Origin: "JAQL", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapMapReduce},
+			Props: NFR{MetricLatencyMS: 700, MetricThroughput: 600, MetricAvailability: 0.995, MetricCostPerHour: 1.5}},
+		{Name: "sawzall", Origin: "Google Sawzall", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapMapReduce},
+			Props: NFR{MetricLatencyMS: 400, MetricThroughput: 900, MetricAvailability: 0.999, MetricCostPerHour: 3}},
+		{Name: "scope", Origin: "Microsoft Scope", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapDataflow},
+			Props: NFR{MetricLatencyMS: 450, MetricThroughput: 850, MetricAvailability: 0.999, MetricCostPerHour: 3}},
+		{Name: "dryadlinq", Origin: "DryadLINQ", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapDataflow},
+			Props: NFR{MetricLatencyMS: 500, MetricThroughput: 750, MetricAvailability: 0.998, MetricCostPerHour: 2.5}},
+		{Name: "bigquery", Origin: "Google BigQuery", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapDataflow},
+			Props: NFR{MetricLatencyMS: 200, MetricThroughput: 1200, MetricAvailability: 0.9995, MetricCostPerHour: 6}},
+		{Name: "meteor", Origin: "Meteor (Stratosphere)", Layer: LayerHLL,
+			Provides: []Capability{CapSQLLike}, Requires: []Capability{CapDataflow},
+			Props: NFR{MetricLatencyMS: 650, MetricThroughput: 650, MetricAvailability: 0.99, MetricCostPerHour: 1}},
+
+		// Programming Model layer.
+		{Name: "mapreduce", Origin: "MapReduce", Layer: LayerModel,
+			Provides: []Capability{CapMapReduce}, Requires: []Capability{CapBatchExec},
+			Props: NFR{MetricLatencyMS: 1000, MetricThroughput: 1000, MetricAvailability: 0.9995, MetricCostPerHour: 1}},
+		{Name: "pregel", Origin: "Pregel", Layer: LayerModel,
+			Provides: []Capability{CapBSPGraph}, Requires: []Capability{CapGraphExec},
+			Props: NFR{MetricLatencyMS: 800, MetricThroughput: 900, MetricAvailability: 0.999, MetricCostPerHour: 1.2}},
+		{Name: "pact", Origin: "PACT (Stratosphere)", Layer: LayerModel,
+			Provides: []Capability{CapDataflow}, Requires: []Capability{CapBatchExec},
+			Props: NFR{MetricLatencyMS: 900, MetricThroughput: 950, MetricAvailability: 0.995, MetricCostPerHour: 1}},
+		{Name: "dataflow", Origin: "Google Dataflow", Layer: LayerModel,
+			Provides: []Capability{CapDataflow}, Requires: []Capability{CapBatchExec},
+			Props: NFR{MetricLatencyMS: 600, MetricThroughput: 1100, MetricAvailability: 0.9995, MetricCostPerHour: 2}},
+		{Name: "mpi", Origin: "MPI/Erlang", Layer: LayerModel,
+			Provides: []Capability{CapDataflow}, Requires: []Capability{CapBatchExec},
+			Props: NFR{MetricLatencyMS: 300, MetricThroughput: 1500, MetricAvailability: 0.99, MetricCostPerHour: 1.5}},
+
+		// Execution Engine layer.
+		{Name: "hadoop-yarn", Origin: "Hadoop/YARN", Layer: LayerExec,
+			Provides: []Capability{CapBatchExec}, Requires: []Capability{CapDFS},
+			Props: NFR{MetricLatencyMS: 2000, MetricThroughput: 1000, MetricAvailability: 0.999, MetricCostPerHour: 4}},
+		{Name: "haloop", Origin: "HaLoop", Layer: LayerExec,
+			Provides: []Capability{CapBatchExec}, Requires: []Capability{CapDFS},
+			Props: NFR{MetricLatencyMS: 1500, MetricThroughput: 1050, MetricAvailability: 0.995, MetricCostPerHour: 4}},
+		{Name: "nephele", Origin: "Nephele", Layer: LayerExec,
+			Provides: []Capability{CapBatchExec}, Requires: []Capability{CapDFS},
+			Props: NFR{MetricLatencyMS: 1800, MetricThroughput: 900, MetricAvailability: 0.99, MetricCostPerHour: 3}},
+		{Name: "dryad", Origin: "Dryad", Layer: LayerExec,
+			Provides: []Capability{CapBatchExec}, Requires: []Capability{CapDFS},
+			Props: NFR{MetricLatencyMS: 1700, MetricThroughput: 950, MetricAvailability: 0.995, MetricCostPerHour: 4}},
+		{Name: "giraph", Origin: "Apache Giraph", Layer: LayerExec,
+			Provides: []Capability{CapGraphExec}, Requires: []Capability{CapDFS},
+			Props: NFR{MetricLatencyMS: 1200, MetricThroughput: 800, MetricAvailability: 0.995, MetricCostPerHour: 3.5}},
+		{Name: "azure-engine", Origin: "Azure Engine", Layer: LayerExec,
+			Provides: []Capability{CapBatchExec}, Requires: []Capability{CapObjectStore},
+			Props: NFR{MetricLatencyMS: 1600, MetricThroughput: 1100, MetricAvailability: 0.9995, MetricCostPerHour: 6}},
+
+		// Storage Engine layer.
+		{Name: "hdfs", Origin: "HDFS", Layer: LayerStorage,
+			Provides: []Capability{CapDFS},
+			Props:    NFR{MetricLatencyMS: 50, MetricThroughput: 2000, MetricAvailability: 0.9999, MetricCostPerHour: 2}},
+		{Name: "gfs", Origin: "GFS", Layer: LayerStorage,
+			Provides: []Capability{CapDFS},
+			Props:    NFR{MetricLatencyMS: 40, MetricThroughput: 2200, MetricAvailability: 0.9999, MetricCostPerHour: 2.5}},
+		{Name: "cosmosfs", Origin: "CosmosFS", Layer: LayerStorage,
+			Provides: []Capability{CapDFS},
+			Props:    NFR{MetricLatencyMS: 60, MetricThroughput: 1800, MetricAvailability: 0.999, MetricCostPerHour: 2}},
+		{Name: "s3", Origin: "Amazon S3", Layer: LayerStorage,
+			Provides: []Capability{CapObjectStore},
+			Props:    NFR{MetricLatencyMS: 100, MetricThroughput: 1500, MetricAvailability: 0.99999, MetricCostPerHour: 3}},
+		{Name: "azure-store", Origin: "Azure Data Store", Layer: LayerStorage,
+			Provides: []Capability{CapObjectStore},
+			Props:    NFR{MetricLatencyMS: 110, MetricThroughput: 1400, MetricAvailability: 0.9999, MetricCostPerHour: 3}},
+		{Name: "voldemort", Origin: "Voldemort", Layer: LayerStorage,
+			Provides: []Capability{CapKVStore},
+			Props:    NFR{MetricLatencyMS: 5, MetricThroughput: 3000, MetricAvailability: 0.999, MetricCostPerHour: 2}},
+	})
+}
+
+// EvolutionNode is one technology in the Figure-2 lineage.
+type EvolutionNode struct {
+	Name string
+	// Era is the decade the technology became established.
+	Era int
+}
+
+// EvolutionEdge is a "led to" relation in Figure 2.
+type EvolutionEdge struct {
+	From, To string
+}
+
+// EvolutionGraph returns the Figure-2 technology lineage: the main line of
+// computer → distributed systems → cluster/grid/cloud/edge → MCS, with the
+// Software Engineering and Performance Engineering branches the paper
+// synthesizes (§3.5).
+func EvolutionGraph() ([]EvolutionNode, []EvolutionEdge) {
+	nodes := []EvolutionNode{
+		{Name: "computer systems", Era: 1960},
+		{Name: "software engineering", Era: 1968},
+		{Name: "performance engineering", Era: 1970},
+		{Name: "distributed systems", Era: 1980},
+		{Name: "supercomputing", Era: 1980},
+		{Name: "cluster computing", Era: 1990},
+		{Name: "grid computing", Era: 1995},
+		{Name: "peer-to-peer", Era: 2000},
+		{Name: "cloud computing", Era: 2006},
+		{Name: "big data", Era: 2010},
+		{Name: "edge computing", Era: 2015},
+		{Name: "serverless", Era: 2016},
+		{Name: "massivizing computer systems", Era: 2018},
+	}
+	edges := []EvolutionEdge{
+		{From: "computer systems", To: "distributed systems"},
+		{From: "computer systems", To: "software engineering"},
+		{From: "computer systems", To: "performance engineering"},
+		{From: "computer systems", To: "supercomputing"},
+		{From: "distributed systems", To: "cluster computing"},
+		{From: "supercomputing", To: "cluster computing"},
+		{From: "cluster computing", To: "grid computing"},
+		{From: "distributed systems", To: "peer-to-peer"},
+		{From: "grid computing", To: "cloud computing"},
+		{From: "cluster computing", To: "cloud computing"},
+		{From: "cloud computing", To: "big data"},
+		{From: "peer-to-peer", To: "edge computing"},
+		{From: "cloud computing", To: "edge computing"},
+		{From: "cloud computing", To: "serverless"},
+		{From: "big data", To: "massivizing computer systems"},
+		{From: "edge computing", To: "massivizing computer systems"},
+		{From: "serverless", To: "massivizing computer systems"},
+		{From: "grid computing", To: "massivizing computer systems"},
+		{From: "software engineering", To: "massivizing computer systems"},
+		{From: "performance engineering", To: "massivizing computer systems"},
+	}
+	return nodes, edges
+}
+
+// DatacenterLayer describes one layer of the Figure-3 datacenter reference
+// architecture.
+type DatacenterLayer struct {
+	Number int // 5 = closest to users; 0 = DevOps (orthogonal)
+	Name   string
+	Role   string
+	// SubLayers refine the two layers closest to users.
+	SubLayers []string
+}
+
+// DatacenterArchitecture returns the 5+1-layer reference architecture for
+// datacenters of Figure 3 (paper §6.1).
+func DatacenterArchitecture() []DatacenterLayer {
+	sub := []string{"high-level languages", "programming models", "execution & memory/storage engines"}
+	return []DatacenterLayer{
+		{Number: 5, Name: "front-end", Role: "application-level functionality", SubLayers: sub},
+		{Number: 4, Name: "back-end", Role: "task, resource, and service management on behalf of the application", SubLayers: sub},
+		{Number: 3, Name: "resources", Role: "task, resource, and service management on behalf of the cloud operator"},
+		{Number: 2, Name: "operations service", Role: "basic services typically associated with (distributed) operating systems"},
+		{Number: 1, Name: "infrastructure", Role: "managing physical and virtual resources"},
+		{Number: 0, Name: "devops", Role: "monitoring, logging, benchmarking — orthogonal to customer service"},
+	}
+}
+
+// GamingFunction is one of the four functions of the Figure-4 online-gaming
+// architecture, with the research topics the figure lists.
+type GamingFunction struct {
+	Name   string
+	Topics []string
+}
+
+// GamingArchitecture returns the Figure-4 functional reference architecture
+// for online gaming (paper §6.3).
+func GamingArchitecture() []GamingFunction {
+	return []GamingFunction{
+		{Name: "virtual world", Topics: []string{
+			"capacity planning", "cluster", "multi-cluster sharding", "cloud-based offloading",
+			"naming: central vs p2p", "consistency: dead reckoning vs lockstep vs area-of-interest",
+			"avatar simulation", "npc & world simulation",
+		}},
+		{Name: "gaming analytics", Topics: []string{
+			"capacity planning", "cluster", "cloud-based", "heterogeneity: gpus",
+			"accuracy vs performance", "distributed graph processing",
+			"processing workflows", "data-intensive processing", "privacy", "toxicity detection",
+		}},
+		{Name: "procedural content generation", Topics: []string{
+			"capacity planning", "cluster", "content complexity and freshness",
+			"matching players with content", "processing workflows", "compute-intensive processing",
+		}},
+		{Name: "social meta-gaming", Topics: []string{
+			"emergent behavior", "implicit social networks", "spectators and streaming",
+			"tournaments", "community management",
+		}},
+	}
+}
+
+// FaaSLayer describes one layer of the Figure-5 FaaS reference architecture,
+// ordered from business logic (top) to operational logic (bottom).
+type FaaSLayer struct {
+	Number int
+	Name   string
+	Role   string
+	// Fig3Layer is the corresponding layer in the Figure-3 datacenter
+	// architecture, as the paper maps them.
+	Fig3Layer int
+}
+
+// FaaSArchitecture returns the Figure-5 FaaS reference architecture (paper
+// §6.5, developed with the SPEC RG Cloud group).
+func FaaSArchitecture() []FaaSLayer {
+	return []FaaSLayer{
+		{Number: 4, Name: "function composition", Role: "meta-scheduling: creating workflows of functions and submitting tasks", Fig3Layer: 5},
+		{Number: 3, Name: "function management", Role: "scheduling and routing function instances (runtime engine)", Fig3Layer: 4},
+		{Number: 2, Name: "resource orchestration", Role: "managing orchestrated resources (e.g. Kubernetes)", Fig3Layer: 3},
+		{Number: 1, Name: "resource layer", Role: "available resources within a cloud", Fig3Layer: 1},
+	}
+}

@@ -1,0 +1,136 @@
+package ecosystem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the service-level machinery of P3: "we envision not
+// only specialized service objectives/targets (SLOs) and overall agreements
+// (SLAs), but also general, ecosystem-wide guarantees". An SLA is a named
+// set of SLOs evaluated against a measured (or composed) NFR sheet.
+
+// Op is an SLO comparison operator.
+type Op int
+
+// SLO operators.
+const (
+	AtLeastOp Op = iota + 1
+	AtMostOp
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case AtLeastOp:
+		return "≥"
+	case AtMostOp:
+		return "≤"
+	default:
+		return "?"
+	}
+}
+
+// SLO is one service-level objective over a single metric.
+type SLO struct {
+	Metric Metric
+	Op     Op
+	Target float64
+}
+
+// Met reports whether value satisfies the objective.
+func (s SLO) Met(value float64) bool {
+	switch s.Op {
+	case AtLeastOp:
+		return value >= s.Target
+	case AtMostOp:
+		return value <= s.Target
+	default:
+		return false
+	}
+}
+
+// String implements fmt.Stringer.
+func (s SLO) String() string {
+	return fmt.Sprintf("%s %s %g", s.Metric, s.Op, s.Target)
+}
+
+// SLA is a named agreement: a set of SLOs that must all hold.
+type SLA struct {
+	Name string
+	SLOs []SLO
+}
+
+// Violation records one failed objective.
+type Violation struct {
+	SLO      SLO
+	Observed float64
+	// Missing marks objectives over metrics absent from the sheet, which
+	// count as violations (an unguaranteed property is an unmet one).
+	Missing bool
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Missing {
+		return fmt.Sprintf("%s: metric not reported", v.SLO)
+	}
+	return fmt.Sprintf("%s: observed %g", v.SLO, v.Observed)
+}
+
+// Evaluate checks the agreement against a measured NFR sheet and returns all
+// violations (nil when the SLA is met).
+func (a SLA) Evaluate(sheet NFR) []Violation {
+	var out []Violation
+	for _, slo := range a.SLOs {
+		v, ok := sheet[slo.Metric]
+		if !ok {
+			out = append(out, Violation{SLO: slo, Missing: true})
+			continue
+		}
+		if !slo.Met(v) {
+			out = append(out, Violation{SLO: slo, Observed: v})
+		}
+	}
+	return out
+}
+
+// Met reports whether the full agreement holds over the sheet.
+func (a SLA) Met(sheet NFR) bool { return len(a.Evaluate(sheet)) == 0 }
+
+// Describe renders the agreement for reports.
+func (a SLA) Describe() string {
+	parts := make([]string, len(a.SLOs))
+	for i, s := range a.SLOs {
+		parts[i] = s.String()
+	}
+	return a.Name + "{" + strings.Join(parts, "; ") + "}"
+}
+
+// GuaranteeGap quantifies how far a sheet is from meeting the SLA: the sum
+// over violated SLOs of the normalized shortfall |observed−target|/target
+// (missing metrics count 1 each). Zero means the SLA is met; the gap powers
+// navigation toward "almost compliant" assemblies when nothing satisfies
+// the SLA outright (the satisficing of §3.5).
+func (a SLA) GuaranteeGap(sheet NFR) float64 {
+	gap := 0.0
+	for _, v := range a.Evaluate(sheet) {
+		if v.Missing || v.SLO.Target == 0 {
+			gap++
+			continue
+		}
+		diff := v.Observed - v.SLO.Target
+		if diff < 0 {
+			diff = -diff
+		}
+		gap += diff / abs(v.SLO.Target)
+	}
+	return gap
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,113 @@
+package ecosystem
+
+import (
+	"strings"
+	"testing"
+)
+
+func goldSLA() SLA {
+	return SLA{Name: "gold", SLOs: []SLO{
+		{Metric: MetricAvailability, Op: AtLeastOp, Target: 0.99},
+		{Metric: MetricLatencyMS, Op: AtMostOp, Target: 4000},
+		{Metric: MetricThroughput, Op: AtLeastOp, Target: 500},
+	}}
+}
+
+func TestSLAMet(t *testing.T) {
+	sheet := NFR{
+		MetricAvailability: 0.995,
+		MetricLatencyMS:    3000,
+		MetricThroughput:   800,
+	}
+	sla := goldSLA()
+	if !sla.Met(sheet) {
+		t.Fatalf("compliant sheet violated: %v", sla.Evaluate(sheet))
+	}
+	if sla.GuaranteeGap(sheet) != 0 {
+		t.Errorf("gap=%v on a met SLA", sla.GuaranteeGap(sheet))
+	}
+}
+
+func TestSLAViolations(t *testing.T) {
+	sheet := NFR{
+		MetricAvailability: 0.95, // violates ≥0.99
+		MetricLatencyMS:    9000, // violates ≤4000
+		MetricThroughput:   800,
+	}
+	vs := goldSLA().Evaluate(sheet)
+	if len(vs) != 2 {
+		t.Fatalf("violations=%d, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Missing {
+			t.Errorf("reported metric flagged missing: %v", v)
+		}
+		if v.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+}
+
+func TestSLAMissingMetricIsViolation(t *testing.T) {
+	sheet := NFR{MetricAvailability: 0.999, MetricLatencyMS: 100}
+	vs := goldSLA().Evaluate(sheet)
+	if len(vs) != 1 || !vs[0].Missing {
+		t.Fatalf("missing-metric handling wrong: %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "not reported") {
+		t.Errorf("violation string %q", vs[0])
+	}
+}
+
+func TestGuaranteeGapOrdersNearMisses(t *testing.T) {
+	sla := goldSLA()
+	near := NFR{MetricAvailability: 0.989, MetricLatencyMS: 4100, MetricThroughput: 600}
+	far := NFR{MetricAvailability: 0.5, MetricLatencyMS: 40000, MetricThroughput: 600}
+	if sla.GuaranteeGap(near) >= sla.GuaranteeGap(far) {
+		t.Errorf("near miss gap %v not below far miss %v",
+			sla.GuaranteeGap(near), sla.GuaranteeGap(far))
+	}
+}
+
+func TestSLAAgainstComposedAssemblies(t *testing.T) {
+	// End-to-end P3 check: evaluate SLAs against real composed NFRs from the
+	// Figure-1 catalog.
+	cands, err := Navigate(BigDataArchitecture(), BigDataCatalog(), Requirements{
+		Capabilities: []Capability{CapSQLLike},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sla := SLA{Name: "analytics", SLOs: []SLO{
+		{Metric: MetricAvailability, Op: AtLeastOp, Target: 0.985},
+		{Metric: MetricLatencyMS, Op: AtMostOp, Target: 3300},
+	}}
+	met, violated := 0, 0
+	for _, c := range cands {
+		if sla.Met(c.NFR) {
+			met++
+		} else {
+			violated++
+		}
+	}
+	if met == 0 {
+		t.Error("no assembly meets the analytics SLA; catalog or SLA miscalibrated")
+	}
+	if violated == 0 {
+		t.Error("every assembly meets the SLA; it discriminates nothing")
+	}
+}
+
+func TestSLODescribeAndOps(t *testing.T) {
+	sla := goldSLA()
+	desc := sla.Describe()
+	if !strings.Contains(desc, "gold") || !strings.Contains(desc, "availability") {
+		t.Errorf("Describe=%q", desc)
+	}
+	if (SLO{Op: Op(9)}).Met(1) {
+		t.Error("unknown op must never be met")
+	}
+	if Op(9).String() != "?" {
+		t.Error("unknown op string")
+	}
+}

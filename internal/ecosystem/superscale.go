@@ -1,0 +1,91 @@
+package ecosystem
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file implements the paper's P5 concepts of super-scalability and
+// super-flexibility: "super-scalability combines the properties of closed
+// systems (e.g., weak and strong scalability) and of open systems (e.g.,
+// the many faces of elasticity)". Closed-system behaviour is measured from
+// strong-scaling runs (makespan versus resources); open-system behaviour
+// arrives as an elasticity risk score (package elasticity); the two combine
+// into one figure of merit.
+
+// ScalePoint is one strong-scaling measurement.
+type ScalePoint struct {
+	Resources int
+	Makespan  time.Duration
+}
+
+// ScalingCurve is the derived closed-system scalability analysis.
+type ScalingCurve struct {
+	Points []ScalePoint
+	// Speedup[i] is Makespan(min resources)/Makespan(i).
+	Speedup []float64
+	// Efficiency[i] is Speedup[i] / (Resources[i]/minResources).
+	Efficiency []float64
+	// SerialFraction is the Amdahl serial fraction fitted from the largest
+	// scale: f = (R/S - 1)/(R - 1) for resource ratio R and speedup S.
+	SerialFraction float64
+}
+
+// AnalyzeScaling computes speedup, efficiency, and the fitted Amdahl serial
+// fraction from strong-scaling measurements (≥2 points, increasing
+// resources, positive makespans).
+func AnalyzeScaling(points []ScalePoint) (*ScalingCurve, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("ecosystem: scaling analysis needs ≥2 points, got %d", len(points))
+	}
+	for i, p := range points {
+		if p.Resources <= 0 || p.Makespan <= 0 {
+			return nil, fmt.Errorf("ecosystem: degenerate scale point %+v", p)
+		}
+		if i > 0 && p.Resources <= points[i-1].Resources {
+			return nil, fmt.Errorf("ecosystem: scale points must have increasing resources")
+		}
+	}
+	base := points[0]
+	curve := &ScalingCurve{Points: append([]ScalePoint(nil), points...)}
+	for _, p := range points {
+		speedup := float64(base.Makespan) / float64(p.Makespan)
+		ratio := float64(p.Resources) / float64(base.Resources)
+		curve.Speedup = append(curve.Speedup, speedup)
+		curve.Efficiency = append(curve.Efficiency, speedup/ratio)
+	}
+	last := len(points) - 1
+	bigR := float64(points[last].Resources) / float64(base.Resources)
+	bigS := curve.Speedup[last]
+	if bigR > 1 && bigS > 0 {
+		f := (bigR/bigS - 1) / (bigR - 1)
+		curve.SerialFraction = math.Max(0, math.Min(1, f))
+	}
+	return curve, nil
+}
+
+// SuperScalability combines the closed-system efficiency at the largest
+// measured scale with an open-system elasticity risk score (lower risk is
+// better; see package elasticity) into the paper's super-scalability figure
+// of merit in [0, 1]:
+//
+//	score = efficiency_at_max_scale × 1/(1 + openRisk)
+//
+// A perfectly strong-scaling, perfectly elastic ecosystem scores 1.
+func SuperScalability(curve *ScalingCurve, openRisk float64) float64 {
+	if curve == nil || len(curve.Efficiency) == 0 {
+		return 0
+	}
+	eff := curve.Efficiency[len(curve.Efficiency)-1]
+	if eff < 0 {
+		eff = 0
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	if openRisk < 0 {
+		openRisk = 0
+	}
+	return eff / (1 + openRisk)
+}

@@ -1,0 +1,100 @@
+package ecosystem
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeScalingPerfect(t *testing.T) {
+	// Embarrassingly parallel: doubling resources halves makespan.
+	curve, err := AnalyzeScaling([]ScalePoint{
+		{Resources: 1, Makespan: 8 * time.Hour},
+		{Resources: 2, Makespan: 4 * time.Hour},
+		{Resources: 4, Makespan: 2 * time.Hour},
+		{Resources: 8, Makespan: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, eff := range curve.Efficiency {
+		if math.Abs(eff-1) > 1e-9 {
+			t.Errorf("efficiency[%d]=%v, want 1", i, eff)
+		}
+	}
+	if curve.SerialFraction > 1e-9 {
+		t.Errorf("serial fraction=%v, want 0", curve.SerialFraction)
+	}
+}
+
+func TestAnalyzeScalingAmdahl(t *testing.T) {
+	// 20% serial fraction: T(n) = T1*(0.2 + 0.8/n).
+	t1 := 10 * time.Hour
+	at := func(n int) time.Duration {
+		return time.Duration(float64(t1) * (0.2 + 0.8/float64(n)))
+	}
+	curve, err := AnalyzeScaling([]ScalePoint{
+		{Resources: 1, Makespan: at(1)},
+		{Resources: 4, Makespan: at(4)},
+		{Resources: 16, Makespan: at(16)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(curve.SerialFraction-0.2) > 0.01 {
+		t.Errorf("fitted serial fraction=%v, want 0.2", curve.SerialFraction)
+	}
+	// Efficiency decays with scale under Amdahl.
+	for i := 1; i < len(curve.Efficiency); i++ {
+		if curve.Efficiency[i] >= curve.Efficiency[i-1] {
+			t.Errorf("efficiency not decaying: %v", curve.Efficiency)
+		}
+	}
+}
+
+func TestAnalyzeScalingRejectsBadInput(t *testing.T) {
+	cases := [][]ScalePoint{
+		nil,
+		{{Resources: 1, Makespan: time.Hour}},
+		{{Resources: 1, Makespan: time.Hour}, {Resources: 1, Makespan: time.Minute}},
+		{{Resources: 2, Makespan: time.Hour}, {Resources: 1, Makespan: time.Minute}},
+		{{Resources: 1, Makespan: 0}, {Resources: 2, Makespan: time.Minute}},
+	}
+	for i, pts := range cases {
+		if _, err := AnalyzeScaling(pts); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSuperScalabilityCombinesClosedAndOpen(t *testing.T) {
+	perfect, err := AnalyzeScaling([]ScalePoint{
+		{Resources: 1, Makespan: 4 * time.Hour},
+		{Resources: 4, Makespan: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := AnalyzeScaling([]ScalePoint{
+		{Resources: 1, Makespan: 4 * time.Hour},
+		{Resources: 4, Makespan: 3 * time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect closed + perfect open = 1.
+	if got := SuperScalability(perfect, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect super-scalability=%v", got)
+	}
+	// Elastic risk degrades the score monotonically.
+	if SuperScalability(perfect, 1) >= SuperScalability(perfect, 0) {
+		t.Error("open risk did not degrade score")
+	}
+	// Closed-system quality dominates ties.
+	if SuperScalability(poor, 0.5) >= SuperScalability(perfect, 0.5) {
+		t.Error("poor scaling outranked perfect scaling")
+	}
+	if SuperScalability(nil, 0) != 0 {
+		t.Error("nil curve must score 0")
+	}
+}

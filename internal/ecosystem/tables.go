@@ -1,0 +1,172 @@
+package ecosystem
+
+// This file encodes the paper's tables as checked data: Table 1 (the MCS
+// overview), Table 2 (the ten principles), Table 3 (the twenty challenges,
+// with their principle links), Table 4 (the six use cases), and Table 5 (the
+// cross-science field comparison under Ropohl's framework). Consistency
+// tests verify the encodings against each other (e.g. every challenge cites
+// only existing principles) and the experiment harness maps rows to
+// implemented modules.
+
+// OverviewRow is one row of Table 1.
+type OverviewRow struct {
+	Section string // Who? / What? / How? / Related
+	Topic   string
+	Values  []string
+}
+
+// Table1Overview returns the Table-1 overview of MCS.
+func Table1Overview() []OverviewRow {
+	return []OverviewRow{
+		{Section: "Who?", Topic: "stakeholders", Values: []string{"scientists", "engineers", "designers", "others"}},
+		{Section: "What?", Topic: "central paradigm", Values: []string{"properties derived from ecosystem"}},
+		{Section: "What?", Topic: "focus", Values: []string{"structure", "organization", "dynamics"}},
+		{Section: "What?", Topic: "concerns", Values: []string{"functional and non-functional properties", "emergence", "evolution"}},
+		{Section: "How?", Topic: "design", Values: []string{"design methods and processes"}},
+		{Section: "How?", Topic: "quantitative", Values: []string{"measurement", "observation"}},
+		{Section: "How?", Topic: "experimentation & simulation", Values: []string{"methodology", "TRL", "benchmarking"}},
+		{Section: "How?", Topic: "empirical", Values: []string{"correlation", "causality iff possible"}},
+		{Section: "How?", Topic: "instrumentation", Values: []string{"experiment infrastructure"}},
+		{Section: "How?", Topic: "formal models", Values: []string{"validated", "calibrated", "robust"}},
+		{Section: "Related", Topic: "computer science", Values: []string{"distributed systems", "software engineering", "performance engineering"}},
+		{Section: "Related", Topic: "systems/complexity", Values: []string{"general systems theory"}},
+		{Section: "Related", Topic: "problem solving", Values: []string{"computer-centric", "human-centric"}},
+	}
+}
+
+// PrincipleType classifies the Table-2 principles.
+type PrincipleType string
+
+// Principle types of Table 2.
+const (
+	TypeSystems     PrincipleType = "systems"
+	TypePeopleware  PrincipleType = "peopleware"
+	TypeMethodology PrincipleType = "methodology"
+)
+
+// Principle is one of the ten core principles of MCS (Table 2, §4).
+type Principle struct {
+	ID         string // "P1".."P10"
+	Type       PrincipleType
+	KeyAspects string
+}
+
+// Table2Principles returns the ten core principles of MCS.
+func Table2Principles() []Principle {
+	return []Principle{
+		{ID: "P1", Type: TypeSystems, KeyAspects: "the age of ecosystems"},
+		{ID: "P2", Type: TypeSystems, KeyAspects: "software-defined everything"},
+		{ID: "P3", Type: TypeSystems, KeyAspects: "non-functional requirements"},
+		{ID: "P4", Type: TypeSystems, KeyAspects: "resource management and scheduling, self-awareness"},
+		{ID: "P5", Type: TypeSystems, KeyAspects: "super-distributed"},
+		{ID: "P6", Type: TypePeopleware, KeyAspects: "fundamental rights"},
+		{ID: "P7", Type: TypePeopleware, KeyAspects: "professional privilege"},
+		{ID: "P8", Type: TypeMethodology, KeyAspects: "science, practice, and culture of MCS"},
+		{ID: "P9", Type: TypeMethodology, KeyAspects: "evolution and emergence"},
+		{ID: "P10", Type: TypeMethodology, KeyAspects: "ethics and transparency"},
+	}
+}
+
+// Challenge is one of the twenty research challenges of MCS (Table 3, §5).
+type Challenge struct {
+	ID         string // "C1".."C20"
+	Type       PrincipleType
+	KeyAspects string
+	// Principles lists the Table-3 "Princip." column links.
+	Principles []string
+}
+
+// Table3Challenges returns the twenty research challenges with their
+// principle links, exactly as Table 3 lists them.
+func Table3Challenges() []Challenge {
+	return []Challenge{
+		{ID: "C1", Type: TypeSystems, KeyAspects: "ecosystems, overall", Principles: []string{"P1"}},
+		{ID: "C2", Type: TypeSystems, KeyAspects: "software-defined everything", Principles: []string{"P2"}},
+		{ID: "C3", Type: TypeSystems, KeyAspects: "non-functional requirements", Principles: []string{"P3", "P5"}},
+		{ID: "C4", Type: TypeSystems, KeyAspects: "extreme heterogeneity", Principles: []string{"P4"}},
+		{ID: "C5", Type: TypeSystems, KeyAspects: "socially aware", Principles: []string{"P4"}},
+		{ID: "C6", Type: TypeSystems, KeyAspects: "adaptation, self-awareness", Principles: []string{"P4"}},
+		{ID: "C7", Type: TypeSystems, KeyAspects: "scheduling, the dual problem", Principles: []string{"P4", "P5"}},
+		{ID: "C8", Type: TypeSystems, KeyAspects: "sophisticated services", Principles: []string{"P4"}},
+		{ID: "C9", Type: TypeSystems, KeyAspects: "the ecosystem navigation challenge", Principles: []string{"P2", "P3", "P4", "P5"}},
+		{ID: "C10", Type: TypeSystems, KeyAspects: "interoperability, federation, delegation", Principles: []string{"P4", "P5"}},
+		{ID: "C11", Type: TypePeopleware, KeyAspects: "community engagement", Principles: []string{"P6"}},
+		{ID: "C12", Type: TypePeopleware, KeyAspects: "curriculum, BOK-MCS", Principles: []string{"P6"}},
+		{ID: "C13", Type: TypePeopleware, KeyAspects: "explaining to all stakeholders", Principles: []string{"P4", "P6"}},
+		{ID: "C14", Type: TypePeopleware, KeyAspects: "the design of design challenge", Principles: []string{"P6", "P7"}},
+		{ID: "C15", Type: TypeMethodology, KeyAspects: "simulation and real-world experimentation", Principles: []string{"P7", "P8"}},
+		{ID: "C16", Type: TypeMethodology, KeyAspects: "reproducibility and benchmarking", Principles: []string{"P7", "P8"}},
+		{ID: "C17", Type: TypeMethodology, KeyAspects: "testing, validation, verification", Principles: []string{"P8"}},
+		{ID: "C18", Type: TypeMethodology, KeyAspects: "a science of MCS", Principles: []string{"P8", "P9"}},
+		{ID: "C19", Type: TypeMethodology, KeyAspects: "the new world challenge", Principles: []string{"P8", "P9"}},
+		{ID: "C20", Type: TypeMethodology, KeyAspects: "the ethics of MCS", Principles: []string{"P10"}},
+	}
+}
+
+// UseCase is one of the six application domains of Table 4 (§6).
+type UseCase struct {
+	Section     string // paper section, e.g. "6.1"
+	Description string
+	// Endogenous marks computer-systems-internal applications; false means
+	// exogenous (domains using ICT).
+	Endogenous bool
+	KeyAspects string
+}
+
+// Table4UseCases returns the six selected use cases.
+func Table4UseCases() []UseCase {
+	return []UseCase{
+		{Section: "6.1", Description: "datacenter management", Endogenous: true, KeyAspects: "RM&S, XaaS, reference architecture"},
+		{Section: "6.5", Description: "emerging application structures", Endogenous: true, KeyAspects: "serverless MCS"},
+		{Section: "6.6", Description: "generalized graph processing", Endogenous: true, KeyAspects: "full MCS challenges"},
+		{Section: "6.2", Description: "future science", Endogenous: false, KeyAspects: "e-science, democratized science"},
+		{Section: "6.3", Description: "online gaming", Endogenous: false, KeyAspects: "multi-functional MCS"},
+		{Section: "6.4", Description: "future banking", Endogenous: false, KeyAspects: "regulated MCS"},
+	}
+}
+
+// FieldRow is one row of the Table-5 cross-science comparison, following
+// Ropohl's framework. Objectives, Methodology, and Character are acronym
+// sets; see the table legend below.
+type FieldRow struct {
+	Field       string
+	EraEmerging int
+	Crisis      string
+	Continues   string
+	Objectives  string // subset of "DES": Design, Engineering, Scientific
+	Object      string
+	Methodology string // subset of "ADHISP"
+	Character   string // subset of "ACEHMSTU"
+	Envisioned  bool   // the MCS row is envisioned, not established
+}
+
+// Table5FieldComparison returns the comparison of emerging fields (Table 5).
+func Table5FieldComparison() []FieldRow {
+	return []FieldRow{
+		{Field: "modern ecology", EraEmerging: 1990, Crisis: "biodiversity loss",
+			Continues: "ecology and evolution", Objectives: "DS", Object: "biosphere",
+			Methodology: "ADHS", Character: "AC"},
+		{Field: "modern chemical process engineering", EraEmerging: 1990, Crisis: "process complexity",
+			Continues: "chemical engineering", Objectives: "DE", Object: "chemical processes",
+			Methodology: "ADHSP", Character: "ACEM"},
+		{Field: "systems biology", EraEmerging: 2000, Crisis: "systems complexity",
+			Continues: "molecular biology", Objectives: "S", Object: "biological systems",
+			Methodology: "AHS", Character: "ACEMTU"},
+		{Field: "modern mechanical design", EraEmerging: 2000, Crisis: "process sustainability",
+			Continues: "technical design", Objectives: "DE", Object: "mechanical systems",
+			Methodology: "DHSP", Character: "ACEM"},
+		{Field: "modern optoelectronics", EraEmerging: 2010, Crisis: "artificial media",
+			Continues: "microwave technology", Objectives: "S", Object: "metamaterials",
+			Methodology: "DHSP", Character: "ACEMTU"},
+		{Field: "massivizing computer systems", EraEmerging: 2018, Crisis: "systems complexity",
+			Continues: "distributed systems", Objectives: "DES", Object: "ecosystems",
+			Methodology: "ADHSP", Character: "ACES", Envisioned: true},
+	}
+}
+
+// Legend character sets for Table 5 validation.
+const (
+	ObjectivesAlphabet  = "DES"
+	MethodologyAlphabet = "ADHISP"
+	CharacterAlphabet   = "ACEHMSTU"
+)

@@ -1,0 +1,170 @@
+// Package elasticity implements the SPEC RG Cloud elasticity metrics the
+// paper makes a first-class concern (P3, C3, C13; Herbst et al., "Ready for
+// Rain?", ref [32]): provisioning accuracy, wrong-provisioning timeshare,
+// instability, and jitter, computed from aligned demand and supply curves,
+// plus an aggregate operational-risk score.
+//
+// Conventions. Demand d(t) and supply s(t) are step functions of resource
+// units. Metrics are normalized so that a perfect supply (s ≡ d) scores 0 on
+// every metric; all bounded metrics live in [0, 1].
+package elasticity
+
+import (
+	"fmt"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+// Metrics holds the SPEC elasticity metric set for one (demand, supply)
+// pair.
+type Metrics struct {
+	// AccuracyU (Θ_U) is the average under-provisioning amount,
+	// normalized by average demand: Σ max(0, d−s) / Σ d.
+	AccuracyU float64
+	// AccuracyO (Θ_O) is the average over-provisioning amount,
+	// normalized by average demand: Σ max(0, s−d) / Σ d.
+	AccuracyO float64
+	// TimeshareU (τ_U) is the fraction of time with d > s — time spent
+	// starving the workload (drives SLO violations).
+	TimeshareU float64
+	// TimeshareO (τ_O) is the fraction of time with s > d — time spent
+	// paying for idle resources.
+	TimeshareO float64
+	// Instability is the fraction of adjacent epochs in which supply
+	// moves against the demand trend (oscillation indicator).
+	Instability float64
+	// Jitter is the surplus of supply changes over demand changes per
+	// hour; positive jitter means the scaler is more nervous than the
+	// workload.
+	JitterPerHour float64
+	// MeanDemand and MeanSupply document the operating point.
+	MeanDemand, MeanSupply float64
+}
+
+// String renders the metric row the way the SPEC tables are printed.
+func (m Metrics) String() string {
+	return fmt.Sprintf("accU=%.3f accO=%.3f tsU=%.3f tsO=%.3f instab=%.3f jitter=%.2f/h",
+		m.AccuracyU, m.AccuracyO, m.TimeshareU, m.TimeshareO, m.Instability, m.JitterPerHour)
+}
+
+// RiskWeights aggregates the metric set into one operational-risk score;
+// the defaults follow the SPEC guidance of weighting under-provisioning
+// (user-visible harm) above over-provisioning (cost harm).
+type RiskWeights struct {
+	UnderAccuracy, OverAccuracy   float64
+	UnderTimeshare, OverTimeshare float64
+	Instability                   float64
+}
+
+// DefaultRiskWeights returns the default aggregation weights.
+func DefaultRiskWeights() RiskWeights {
+	return RiskWeights{
+		UnderAccuracy: 3, OverAccuracy: 1,
+		UnderTimeshare: 2, OverTimeshare: 0.5,
+		Instability: 1,
+	}
+}
+
+// Risk returns the weighted aggregate score (lower is better).
+func (m Metrics) Risk(w RiskWeights) float64 {
+	return w.UnderAccuracy*m.AccuracyU +
+		w.OverAccuracy*m.AccuracyO +
+		w.UnderTimeshare*m.TimeshareU +
+		w.OverTimeshare*m.TimeshareO +
+		w.Instability*m.Instability
+}
+
+// Compute evaluates the metric set over [0, horizon) by resampling both
+// curves at the given interval (default 1 minute when interval ≤ 0).
+func Compute(demand, supply *stats.TimeSeries, horizon time.Duration, interval time.Duration) Metrics {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	d := demand.Resample(0, horizon, interval)
+	s := supply.Resample(0, horizon, interval)
+	return FromSamples(d, s, interval)
+}
+
+// FromSamples evaluates the metric set from pre-aligned samples taken every
+// interval.
+func FromSamples(d, s []float64, interval time.Duration) Metrics {
+	n := len(d)
+	if len(s) < n {
+		n = len(s)
+	}
+	if n == 0 {
+		return Metrics{}
+	}
+	var under, over, sumD, sumS float64
+	var epochsU, epochsO int
+	for i := 0; i < n; i++ {
+		gap := d[i] - s[i]
+		if gap > 0 {
+			under += gap
+			epochsU++
+		} else if gap < 0 {
+			over += -gap
+			epochsO++
+		}
+		sumD += d[i]
+		sumS += s[i]
+	}
+	m := Metrics{
+		TimeshareU: float64(epochsU) / float64(n),
+		TimeshareO: float64(epochsO) / float64(n),
+		MeanDemand: sumD / float64(n),
+		MeanSupply: sumS / float64(n),
+	}
+	if sumD > 0 {
+		m.AccuracyU = under / sumD
+		m.AccuracyO = over / sumD
+	} else if over > 0 {
+		m.AccuracyO = 1
+	}
+	// Instability: supply moving against the demand trend.
+	moves, against := 0, 0
+	changesD, changesS := 0, 0
+	for i := 1; i < n; i++ {
+		dd := sign(d[i] - d[i-1])
+		ds := sign(s[i] - s[i-1])
+		if dd != 0 {
+			changesD++
+		}
+		if ds != 0 {
+			changesS++
+		}
+		if ds != 0 || dd != 0 {
+			moves++
+			if ds != 0 && dd != 0 && ds != dd {
+				against++
+			}
+		}
+	}
+	if moves > 0 {
+		m.Instability = float64(against) / float64(moves)
+	}
+	hours := (time.Duration(n) * interval).Hours()
+	if hours > 0 {
+		m.JitterPerHour = float64(changesS-changesD) / hours
+	}
+	return m
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// PerfectSupply reports whether the metric set corresponds to an exact
+// supply (all error metrics zero) — used by invariant tests.
+func (m Metrics) PerfectSupply() bool {
+	return m.AccuracyU == 0 && m.AccuracyO == 0 &&
+		m.TimeshareU == 0 && m.TimeshareO == 0 && m.Instability == 0
+}

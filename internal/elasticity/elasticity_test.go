@@ -1,0 +1,175 @@
+package elasticity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+func TestPerfectSupplyScoresZero(t *testing.T) {
+	d := []float64{5, 10, 3, 8, 8, 0, 2}
+	m := FromSamples(d, d, time.Minute)
+	if !m.PerfectSupply() {
+		t.Errorf("perfect supply scored %+v", m)
+	}
+	if m.Risk(DefaultRiskWeights()) != 0 {
+		t.Errorf("perfect supply risk=%v", m.Risk(DefaultRiskWeights()))
+	}
+}
+
+func TestUnderProvisioning(t *testing.T) {
+	d := []float64{10, 10, 10, 10}
+	s := []float64{5, 5, 5, 5}
+	m := FromSamples(d, s, time.Minute)
+	if m.AccuracyU != 0.5 {
+		t.Errorf("accU=%v, want 0.5", m.AccuracyU)
+	}
+	if m.AccuracyO != 0 {
+		t.Errorf("accO=%v, want 0", m.AccuracyO)
+	}
+	if m.TimeshareU != 1 || m.TimeshareO != 0 {
+		t.Errorf("timeshares %v/%v, want 1/0", m.TimeshareU, m.TimeshareO)
+	}
+}
+
+func TestOverProvisioning(t *testing.T) {
+	d := []float64{10, 10, 10, 10}
+	s := []float64{20, 20, 20, 20}
+	m := FromSamples(d, s, time.Minute)
+	if m.AccuracyO != 1.0 {
+		t.Errorf("accO=%v, want 1.0", m.AccuracyO)
+	}
+	if m.TimeshareO != 1 || m.TimeshareU != 0 {
+		t.Errorf("timeshares wrong: %+v", m)
+	}
+}
+
+func TestMixedProvisioning(t *testing.T) {
+	d := []float64{10, 10}
+	s := []float64{5, 15}
+	m := FromSamples(d, s, time.Minute)
+	if m.TimeshareU != 0.5 || m.TimeshareO != 0.5 {
+		t.Errorf("timeshares %+v", m)
+	}
+	if m.AccuracyU != 0.25 || m.AccuracyO != 0.25 {
+		t.Errorf("accuracies %+v", m)
+	}
+}
+
+func TestInstabilityDetectsOscillation(t *testing.T) {
+	// Demand flat-ish rising; supply oscillates against it.
+	d := []float64{10, 11, 12, 13, 14, 15, 16, 17}
+	s := []float64{10, 20, 5, 20, 5, 20, 5, 20}
+	m := FromSamples(d, s, time.Minute)
+	if m.Instability < 0.3 {
+		t.Errorf("oscillating supply instability=%v, want high", m.Instability)
+	}
+	// Supply tracking demand exactly has zero instability.
+	m2 := FromSamples(d, d, time.Minute)
+	if m2.Instability != 0 {
+		t.Errorf("tracking supply instability=%v", m2.Instability)
+	}
+}
+
+func TestJitterCountsExcessChanges(t *testing.T) {
+	d := []float64{10, 10, 10, 10, 10, 10} // no changes
+	s := []float64{10, 11, 10, 11, 10, 11} // 5 changes
+	m := FromSamples(d, s, time.Minute)
+	if m.JitterPerHour <= 0 {
+		t.Errorf("nervous supply jitter=%v, want positive", m.JitterPerHour)
+	}
+	// Lazy supply with changing demand gives negative jitter.
+	m2 := FromSamples(s, d, time.Minute)
+	if m2.JitterPerHour >= 0 {
+		t.Errorf("lazy supply jitter=%v, want negative", m2.JitterPerHour)
+	}
+}
+
+func TestComputeResamplesSeries(t *testing.T) {
+	d := stats.NewTimeSeries()
+	d.Add(0, 4)
+	d.Add(30*time.Minute, 8)
+	s := stats.NewTimeSeries()
+	s.Add(0, 4)
+	m := Compute(d, s, time.Hour, time.Minute)
+	// Supply matches for the first half, under-provisions by 4 after.
+	if m.TimeshareU < 0.45 || m.TimeshareU > 0.55 {
+		t.Errorf("timeshareU=%v, want ≈0.5", m.TimeshareU)
+	}
+	if m.MeanDemand < 5.9 || m.MeanDemand > 6.1 {
+		t.Errorf("mean demand=%v, want 6", m.MeanDemand)
+	}
+}
+
+func TestRiskOrdersBadSuppliesAboveGood(t *testing.T) {
+	d := []float64{10, 20, 30, 20, 10, 20, 30, 20}
+	good := []float64{10, 20, 30, 20, 10, 20, 30, 20}
+	bad := []float64{0, 0, 0, 0, 0, 0, 0, 0}
+	w := DefaultRiskWeights()
+	rGood := FromSamples(d, good, time.Minute).Risk(w)
+	rBad := FromSamples(d, bad, time.Minute).Risk(w)
+	if rGood >= rBad {
+		t.Errorf("risk(good)=%v not below risk(bad)=%v", rGood, rBad)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if m := FromSamples(nil, nil, time.Minute); m != (Metrics{}) {
+		t.Errorf("empty samples: %+v", m)
+	}
+	// Zero demand with over-supply must still register over-provisioning.
+	m := FromSamples([]float64{0, 0}, []float64{5, 5}, time.Minute)
+	if m.AccuracyO != 1 {
+		t.Errorf("zero-demand over-provisioning accO=%v, want 1", m.AccuracyO)
+	}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: all bounded metrics stay in [0,1]; accuracy is scale-invariant
+// in time (doubling the horizon with the same pattern keeps the metrics).
+func TestMetricBoundsProperty(t *testing.T) {
+	prop := func(rawD, rawS []uint8) bool {
+		n := len(rawD)
+		if len(rawS) < n {
+			n = len(rawS)
+		}
+		if n == 0 {
+			return true
+		}
+		d := make([]float64, n)
+		s := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d[i] = float64(rawD[i])
+			s[i] = float64(rawS[i])
+		}
+		m := FromSamples(d, s, time.Minute)
+		bounded := func(x float64) bool { return x >= 0 && x <= 1 }
+		if !bounded(m.TimeshareU) || !bounded(m.TimeshareO) || !bounded(m.Instability) {
+			return false
+		}
+		if m.AccuracyU < 0 || m.AccuracyO < 0 {
+			return false
+		}
+		// Doubling the series preserves the ratio metrics.
+		d2 := append(append([]float64{}, d...), d...)
+		s2 := append(append([]float64{}, s...), s...)
+		m2 := FromSamples(d2, s2, time.Minute)
+		const tol = 1e-9
+		return abs(m.AccuracyU-m2.AccuracyU) < tol && abs(m.AccuracyO-m2.AccuracyO) < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick runs every experiment in Quick mode; each must succeed and produce a
+// well-formed report.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if rep.ID != id {
+				t.Errorf("report id %q, want %q", rep.ID, id)
+			}
+			if rep.Title == "" || rep.Headline == "" {
+				t.Error("missing title/headline")
+			}
+			if len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+				t.Error("empty table")
+			}
+			for i, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(rep.Columns))
+				}
+			}
+			if !strings.Contains(rep.String(), rep.ID) {
+				t.Error("String() does not render the report")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("Z9", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsCanonicalOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("ids=%d, want 16 (F1-F5, T1-T5, D1-D6)", len(ids))
+	}
+	want := []string{"F1", "F2", "F3", "F4", "F5", "T1", "T2", "T3", "T4", "T5", "D1", "D2", "D3", "D4", "D5", "D6"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids=%v", ids)
+		}
+	}
+}
+
+// --- claim-shape assertions: each experiment's headline must hold in the
+// produced numbers, not just be printed. ---
+
+func cell(rep *Report, rowPrefix []string, col string) string {
+	ci := -1
+	for i, c := range rep.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, row := range rep.Rows {
+		match := true
+		for i, p := range rowPrefix {
+			if i >= len(row) || !strings.Contains(row[i], p) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return row[ci]
+		}
+	}
+	return ""
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func mustDuration(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return d
+}
+
+func TestF3ClaimEASYBeatsStrict(t *testing.T) {
+	rep, err := F3DatacenterRefArch(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strict, easy time.Duration
+	for _, row := range rep.Rows {
+		if row[2] == "mean wait" {
+			switch row[1] {
+			case "strict fcfs":
+				strict = mustDuration(t, row[3])
+			case "easy+sjf":
+				easy = mustDuration(t, row[3])
+			}
+		}
+	}
+	if easy == 0 && strict == 0 {
+		t.Skip("workload produced no queueing at quick scale")
+	}
+	if easy > strict {
+		t.Errorf("EASY mean wait %v above strict %v", easy, strict)
+	}
+}
+
+func TestF5ClaimKeepWarmReducesTail(t *testing.T) {
+	rep, err := F5FaaSRefArch(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99kw0 := mustDuration(t, cell(rep, []string{"0"}, "p99"))
+	p99kw4 := mustDuration(t, cell(rep, []string{"4"}, "p99"))
+	if p99kw4 > p99kw0 {
+		t.Errorf("keep-warm 4 p99 %v above keep-warm 0 %v", p99kw4, p99kw0)
+	}
+	cost0 := mustFloat(t, cell(rep, []string{"0"}, "instance-s"))
+	cost4 := mustFloat(t, cell(rep, []string{"4"}, "instance-s"))
+	if cost4 < cost0 {
+		t.Errorf("keep-warm 4 cheaper (%v) than keep-warm 0 (%v) — trade-off missing", cost4, cost0)
+	}
+}
+
+func TestT2ClaimReactBeatsStaticOnOverProvisioning(t *testing.T) {
+	rep, err := T2Principles(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staticAccO, reactAccO float64
+	for _, row := range rep.Rows {
+		if row[0] == "static" {
+			staticAccO = mustFloat(t, strings.TrimPrefix(row[1], "accO="))
+		}
+		if row[0] == "react" {
+			reactAccO = mustFloat(t, strings.TrimPrefix(row[1], "accO="))
+		}
+	}
+	if reactAccO >= staticAccO {
+		t.Errorf("react accO %v not below static %v", reactAccO, staticAccO)
+	}
+}
+
+func TestT3ClaimFineGrainedNFRsCutWaste(t *testing.T) {
+	rep, err := T3Challenges(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := cell(rep, []string{"C3*", "experiment", "coarse"}, "principles / result")
+	fine := cell(rep, []string{"C3*", "experiment", "fine"}, "principles / result")
+	co := mustFloat(t, strings.TrimPrefix(coarse, "over-provision accO="))
+	fi := mustFloat(t, strings.TrimPrefix(fine, "over-provision accO="))
+	if fi >= co {
+		t.Errorf("fine-grained accO %v not below coarse %v", fi, co)
+	}
+}
+
+func TestD2ClaimCorrelatedFailuresGoDeeper(t *testing.T) {
+	rep, err := D2CorrelatedFailures(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indDown := mustFloat(t, cell(rep, []string{"independent"}, "max concurrent down"))
+	corDown := mustFloat(t, cell(rep, []string{"correlated"}, "max concurrent down"))
+	if corDown <= indDown {
+		t.Errorf("correlated max-down %v not above independent %v", corDown, indDown)
+	}
+}
+
+func TestD3ClaimMetricsDiscriminate(t *testing.T) {
+	rep, err := D3ElasticityMetrics(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exact supply has zero risk; half supply has high accU; peak-static has
+	// high accO; oscillating has high instability.
+	if v := mustFloat(t, cell(rep, []string{"exact"}, "risk")); v != 0 {
+		t.Errorf("exact supply risk=%v", v)
+	}
+	if v := mustFloat(t, cell(rep, []string{"half"}, "accU")); v <= 0 {
+		t.Errorf("half supply accU=%v", v)
+	}
+	if v := mustFloat(t, cell(rep, []string{"peak-static"}, "accO")); v <= 0 {
+		t.Errorf("static supply accO=%v", v)
+	}
+	if v := mustFloat(t, cell(rep, []string{"oscillating"}, "instability")); v <= 0 {
+		t.Errorf("oscillating instability=%v", v)
+	}
+}
+
+func TestD5ClaimSocialAwareCutsUnderProvisioning(t *testing.T) {
+	rep, err := D5SocialAware(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	react := mustFloat(t, cell(rep, []string{"react"}, "accU"))
+	socialAware := mustFloat(t, cell(rep, []string{"social-aware"}, "accU"))
+	if socialAware > react {
+		t.Errorf("social-aware accU %v above react %v", socialAware, react)
+	}
+}
+
+func TestD6ClaimMultiTenancyRaisesVariability(t *testing.T) {
+	rep, err := D6PerfVariability(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := mustFloat(t, cell(rep, []string{"quiet"}, "CV"))
+	mt := mustFloat(t, cell(rep, []string{"multi-tenant"}, "CV"))
+	if mt <= quiet {
+		t.Errorf("multi-tenant CV %v not above quiet %v", mt, quiet)
+	}
+}

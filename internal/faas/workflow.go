@@ -1,0 +1,97 @@
+package faas
+
+import (
+	"fmt"
+	"time"
+
+	"mcs/internal/sim"
+)
+
+// This file implements the Function Composition layer of Figure 5: "the
+// meta-scheduling, that is, creating workflows of functions and submitting
+// the individual tasks to the management layer." Workflows are sequences of
+// stages; each stage invokes its functions in parallel and completes when
+// all of them return (the fork-join structure of typical serverless
+// pipelines such as the paper's image-processing example).
+
+// Workflow is a staged composition of functions.
+type Workflow struct {
+	Name string
+	// Stages run sequentially; functions within a stage run in parallel.
+	Stages [][]string
+}
+
+// Validate checks the workflow references only declared functions.
+func (w *Workflow) Validate(p *Platform) error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("faas: workflow %q has no stages", w.Name)
+	}
+	for si, stage := range w.Stages {
+		if len(stage) == 0 {
+			return fmt.Errorf("faas: workflow %q stage %d is empty", w.Name, si)
+		}
+		for _, fn := range stage {
+			if _, ok := p.fns[fn]; !ok {
+				return fmt.Errorf("%w: %q in workflow %q", ErrUnknownFunction, fn, w.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// WorkflowRecord is the outcome of one workflow execution.
+type WorkflowRecord struct {
+	Workflow string
+	Submit   time.Duration
+	Finish   time.Duration
+	// Invocations counts the function calls made.
+	Invocations int
+	// ColdStarts counts cold starts suffered across all stages.
+	ColdStarts int
+}
+
+// Makespan returns the end-to-end workflow duration.
+func (r WorkflowRecord) Makespan() time.Duration { return r.Finish - r.Submit }
+
+// SubmitWorkflow schedules a workflow execution starting at the given time;
+// the optional callback fires when the last stage completes.
+func (p *Platform) SubmitWorkflow(w Workflow, at time.Duration, done func(rec WorkflowRecord)) error {
+	if err := w.Validate(p); err != nil {
+		return err
+	}
+	rec := &WorkflowRecord{Workflow: w.Name, Submit: at}
+	var runStage func(si int)
+	runStage = func(si int) {
+		if si == len(w.Stages) {
+			rec.Finish = time.Duration(p.k.Now())
+			if done != nil {
+				done(*rec)
+			}
+			return
+		}
+		stage := w.Stages[si]
+		remaining := len(stage)
+		for _, fnName := range stage {
+			rec.Invocations++
+			err := p.Invoke(Invocation{Function: fnName, At: time.Duration(p.k.Now())},
+				func(r Record) {
+					if r.Cold {
+						rec.ColdStarts++
+					}
+					remaining--
+					if remaining == 0 {
+						runStage(si + 1)
+					}
+				})
+			if err != nil {
+				// Validate guarantees known functions; an error here is a
+				// scheduling-in-the-past bug, surfaced via panic in tests.
+				panic(fmt.Sprintf("faas: stage invoke: %v", err))
+			}
+		}
+	}
+	_, err := p.k.ScheduleAt(at, func(sim.Time) {
+		runStage(0)
+	})
+	return err
+}

@@ -1,0 +1,216 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+func TestIndependentModelMTBFConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	mtbf := 2 * time.Hour
+	m := IndependentModel(mtbf, 10*time.Minute)
+	horizon := 400 * 24 * time.Hour
+	events, err := m.Generate(100, horizon, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(events, 100, horizon)
+	// Empirical MTBF within 10% of configured.
+	ratio := a.EmpiricalMTBF.Seconds() / mtbf.Seconds()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("empirical MTBF %v vs configured %v (ratio %v)", a.EmpiricalMTBF, mtbf, ratio)
+	}
+	if a.MeanGroupSize != 1 {
+		t.Errorf("independent model group size=%v, want 1", a.MeanGroupSize)
+	}
+	// Poisson arrivals: burstiness ≈ 1.
+	if a.IATBurstiness < 0.85 || a.IATBurstiness > 1.15 {
+		t.Errorf("independent IAT burstiness=%v, want ≈1", a.IATBurstiness)
+	}
+}
+
+func TestCorrelatedModelIsBurstyAndGrouped(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	horizon := 400 * 24 * time.Hour
+	ind := IndependentModel(time.Hour, 15*time.Minute)
+	cor := CorrelatedModel(time.Hour, 15*time.Minute, 8)
+	racks := make([]string, 128)
+	for i := range racks {
+		racks[i] = string(rune('a' + i/16))
+	}
+	evI, err := ind.Generate(128, horizon, racks, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evC, err := cor.Generate(128, horizon, racks, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aI := Analyze(evI, 128, horizon)
+	aC := Analyze(evC, 128, horizon)
+	if aC.MeanGroupSize < 4 {
+		t.Errorf("correlated group size=%v, want ≥4", aC.MeanGroupSize)
+	}
+	if aC.IATBurstiness <= aI.IATBurstiness {
+		t.Errorf("correlated burstiness %v not above independent %v", aC.IATBurstiness, aI.IATBurstiness)
+	}
+	// Headline claim (D2): equal failure mass, but correlated failures
+	// produce much deeper simultaneous outages.
+	if aC.MaxConcurrentDown <= aI.MaxConcurrentDown {
+		t.Errorf("correlated max concurrent down %d not above independent %d",
+			aC.MaxConcurrentDown, aI.MaxConcurrentDown)
+	}
+	// Machine-failure mass within 2x of each other (same budget by design).
+	ratio := float64(aC.MachineFailures) / float64(aI.MachineFailures)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("failure mass ratio=%v, models not comparable", ratio)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bad := &Model{}
+	if _, err := bad.Generate(10, time.Hour, nil, r); err == nil {
+		t.Error("nil distributions accepted")
+	}
+	good := IndependentModel(time.Hour, time.Minute)
+	if _, err := good.Generate(0, time.Hour, nil, r); err == nil {
+		t.Error("zero machines accepted")
+	}
+}
+
+func TestGroupSizeClampedToCluster(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := &Model{
+		MTBFSeconds:   stats.Exponential{Rate: 1.0 / 60},
+		RepairSeconds: stats.Deterministic{Value: 30},
+		GroupSize:     stats.Deterministic{Value: 1000},
+	}
+	events, err := m.Generate(5, time.Hour, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if len(ev.Machines) > 5 {
+			t.Fatalf("event hit %d machines in a 5-machine cluster", len(ev.Machines))
+		}
+		seen := map[int]bool{}
+		for _, idx := range ev.Machines {
+			if idx < 0 || idx >= 5 {
+				t.Fatalf("machine index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatal("duplicate machine in one event")
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestSameRackBiasConfinesBursts(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := &Model{
+		MTBFSeconds:   stats.Exponential{Rate: 1.0 / 600},
+		RepairSeconds: stats.Deterministic{Value: 60},
+		GroupSize:     stats.Deterministic{Value: 6},
+		SameRackBias:  1.0,
+	}
+	racks := make([]string, 64)
+	for i := range racks {
+		racks[i] = string(rune('a' + i/8)) // racks of 8
+	}
+	events, err := m.Generate(64, 100*time.Hour, racks, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events generated")
+	}
+	for _, ev := range events {
+		// Group size 6 < rack size 8, so a fully biased event is single-rack.
+		rk := racks[ev.Machines[0]]
+		for _, idx := range ev.Machines {
+			if racks[idx] != rk {
+				t.Fatalf("biased event spans racks: %v", ev.Machines)
+			}
+		}
+	}
+}
+
+func TestAnalyzeAvailability(t *testing.T) {
+	// Two machines, horizon 100s. Machine 0 down [10,20), machine 1 down
+	// [50,60): downtime 20 machine-seconds of 200 → availability 0.9.
+	events := []Event{
+		{At: 10 * time.Second, Machines: []int{0}, Repair: 10 * time.Second},
+		{At: 50 * time.Second, Machines: []int{1}, Repair: 10 * time.Second},
+	}
+	a := Analyze(events, 2, 100*time.Second)
+	if a.Availability < 0.899 || a.Availability > 0.901 {
+		t.Errorf("availability=%v, want 0.9", a.Availability)
+	}
+	if a.MaxConcurrentDown != 1 {
+		t.Errorf("max concurrent down=%d, want 1", a.MaxConcurrentDown)
+	}
+	// Overlapping event raises concurrency.
+	events = append(events, Event{At: 52 * time.Second, Machines: []int{0}, Repair: 10 * time.Second})
+	a = Analyze(events, 2, 100*time.Second)
+	if a.MaxConcurrentDown != 2 {
+		t.Errorf("max concurrent down=%d, want 2", a.MaxConcurrentDown)
+	}
+}
+
+func TestAnalyzeClampsRepairAtHorizon(t *testing.T) {
+	events := []Event{{At: 90 * time.Second, Machines: []int{0}, Repair: time.Hour}}
+	a := Analyze(events, 1, 100*time.Second)
+	// Downtime clamps to 10s of 100 → availability 0.9.
+	if a.Availability < 0.899 || a.Availability > 0.901 {
+		t.Errorf("availability=%v, want 0.9", a.Availability)
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	if a := Analyze(nil, 0, 0); a.Availability != 0 || a.Events != 0 {
+		t.Errorf("degenerate analysis %+v", a)
+	}
+	if a := Analyze(nil, 5, time.Hour); a.Availability != 1 {
+		t.Errorf("no-failure availability=%v, want 1", a.Availability)
+	}
+}
+
+// Property: availability is always within [0,1] and events stay in-horizon.
+func TestGenerateProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, hoursRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		hours := time.Duration(hoursRaw%100+1) * time.Hour
+		r := rand.New(rand.NewSource(seed))
+		m := CorrelatedModel(30*time.Minute, 5*time.Minute, 4)
+		events, err := m.Generate(n, hours, nil, r)
+		if err != nil {
+			return false
+		}
+		for _, ev := range events {
+			if ev.At >= hours || len(ev.Machines) == 0 {
+				return false
+			}
+		}
+		a := Analyze(events, n, hours)
+		return a.Availability >= 0 && a.Availability <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerateYearOfFailures(b *testing.B) {
+	m := CorrelatedModel(time.Hour, 10*time.Minute, 8)
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(1))
+		if _, err := m.Generate(512, 365*24*time.Hour, nil, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/workload"
+)
+
+// hotColdSites builds the canonical C10 scenario: one overloaded site, one
+// idle site, with a WAN delay between them.
+func hotColdSites(t *testing.T) []Site {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	hot, err := workload.Generate(workload.GeneratorConfig{
+		Jobs:    150,
+		Arrival: workload.Poisson{RatePerHour: 600},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Site{
+		{
+			Name:    "eu-busy",
+			Cluster: dcmodel.NewHomogeneous("eu", 2, dcmodel.ClassCommodity, 8),
+			Local:   hot.Jobs,
+		},
+		{
+			Name:     "us-idle",
+			Cluster:  dcmodel.NewHomogeneous("us", 8, dcmodel.ClassCommodity, 8),
+			WANDelay: 2 * time.Second,
+		},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, LocalOnly, Config{}); err == nil {
+		t.Error("empty federation accepted")
+	}
+	if _, err := Run([]Site{{Name: "x"}}, LocalOnly, Config{}); err == nil {
+		t.Error("site without cluster accepted")
+	}
+	sites := hotColdSites(t)
+	if _, err := Run(sites, RoutingPolicy(99), Config{}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLocalOnlyKeepsJobsAtOrigin(t *testing.T) {
+	sites := hotColdSites(t)
+	res, err := Run(sites, LocalOnly, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delegated != 0 {
+		t.Errorf("local-only delegated %d jobs", res.Delegated)
+	}
+	if res.Sites[1].Jobs != 0 {
+		t.Errorf("idle site received %d jobs under local-only", res.Sites[1].Jobs)
+	}
+	if res.Completed == 0 {
+		t.Error("nothing completed")
+	}
+}
+
+// The C10 headline: federation (least-loaded delegation) consolidates load
+// and cuts waiting versus siloed operation.
+func TestLeastLoadedBeatsLocalOnly(t *testing.T) {
+	local, err := Run(hotColdSites(t), LocalOnly, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := Run(hotColdSites(t), LeastLoaded, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Delegated == 0 {
+		t.Fatal("least-loaded never delegated despite a hot site")
+	}
+	if fed.MeanWait >= local.MeanWait {
+		t.Errorf("federated mean wait %v not below siloed %v", fed.MeanWait, local.MeanWait)
+	}
+	if fed.Completed != local.Completed {
+		t.Errorf("completions differ: %d vs %d", fed.Completed, local.Completed)
+	}
+}
+
+func TestRoundRobinSpreadsJobs(t *testing.T) {
+	res, err := Run(hotColdSites(t), RoundRobin, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites[0].Jobs == 0 || res.Sites[1].Jobs == 0 {
+		t.Errorf("round-robin left a site empty: %+v", res.Sites)
+	}
+	diff := res.Sites[0].Jobs - res.Sites[1].Jobs
+	if diff < -1 || diff > 1 {
+		t.Errorf("round-robin imbalance: %d vs %d", res.Sites[0].Jobs, res.Sites[1].Jobs)
+	}
+}
+
+func TestDelegationPaysWANDelay(t *testing.T) {
+	// A single job delegated to a far site must not start before the WAN
+	// delay has elapsed.
+	job := workload.Job{ID: 1, User: "u", Tasks: []workload.Task{
+		{ID: 1, Job: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second},
+	}}
+	sites := []Site{
+		{
+			Name: "origin",
+			// Zero-capacity origin is impossible; instead make it so loaded
+			// the least-loaded policy prefers the remote site: origin gets a
+			// tiny cluster plus a big backlog job.
+			Cluster: dcmodel.NewHomogeneous("o", 1, dcmodel.ClassCommodity, 8),
+			Local: []workload.Job{
+				{ID: 2, User: "u", Tasks: []workload.Task{
+					{ID: 2, Job: 2, Cores: 16, MemoryMB: 1, Runtime: time.Hour},
+				}},
+				job,
+			},
+		},
+		{
+			Name:     "remote",
+			Cluster:  dcmodel.NewHomogeneous("r", 8, dcmodel.ClassCommodity, 8),
+			WANDelay: 30 * time.Second,
+		},
+	}
+	res, err := Run(sites, LeastLoaded, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delegated == 0 {
+		t.Fatal("no delegation happened")
+	}
+	// Find the small job's record on the remote site.
+	for _, sr := range res.Sites {
+		if sr.Site != "remote" || sr.Result == nil {
+			continue
+		}
+		for _, rec := range sr.Result.Records {
+			if rec.Job == 1 && rec.Submit < 30*time.Second {
+				t.Errorf("delegated job submitted at %v, before the 30s WAN delay", rec.Submit)
+			}
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []RoutingPolicy{LocalOnly, RoundRobin, LeastLoaded, RoutingPolicy(9)} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func BenchmarkFederatedRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(1))
+		hot, err := workload.Generate(workload.GeneratorConfig{Jobs: 150, Arrival: workload.Poisson{RatePerHour: 600}}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites := []Site{
+			{Name: "a", Cluster: dcmodel.NewHomogeneous("a", 2, dcmodel.ClassCommodity, 8), Local: hot.Jobs},
+			{Name: "b", Cluster: dcmodel.NewHomogeneous("b", 8, dcmodel.ClassCommodity, 8), WANDelay: 2 * time.Second},
+		}
+		if _, err := Run(sites, LeastLoaded, Config{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

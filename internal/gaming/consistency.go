@@ -1,0 +1,146 @@
+package gaming
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the consistency trade-off Figure 4 lists for the Virtual
+// World function: "consistency: dead reckoning vs (continuous) lock-step vs
+// (eventual) AoI". Each model yields per-player bandwidth and a staleness/
+// responsiveness figure as a function of zone population, so the F4
+// experiment can plot the crossover that limits "more than a few tens of
+// simultaneous players" in fast-paced games.
+
+// ConsistencyModel names a virtual-world state-synchronization discipline.
+type ConsistencyModel int
+
+// Consistency models.
+const (
+	// DeadReckoning sends periodic state snapshots; clients extrapolate
+	// between updates (bounded staleness, low responsiveness cost).
+	DeadReckoning ConsistencyModel = iota + 1
+	// Lockstep advances the world in synchronized ticks; perfectly
+	// consistent but latency-bound by the slowest participant.
+	Lockstep
+	// AreaOfInterest sends updates only for entities within each player's
+	// interest radius (eventual consistency outside it).
+	AreaOfInterest
+)
+
+// String implements fmt.Stringer.
+func (m ConsistencyModel) String() string {
+	switch m {
+	case DeadReckoning:
+		return "dead-reckoning"
+	case Lockstep:
+		return "lockstep"
+	case AreaOfInterest:
+		return "area-of-interest"
+	default:
+		return "model?"
+	}
+}
+
+// ConsistencyParams configures the cost model.
+type ConsistencyParams struct {
+	// UpdateHz is the server update (or tick) rate.
+	UpdateHz float64
+	// UpdateBytes is the size of one entity-state update.
+	UpdateBytes int
+	// MeanRTTMS and P99RTTMS characterize player network latency.
+	MeanRTTMS, P99RTTMS float64
+	// AoIFraction is the fraction of zone entities within a player's
+	// interest area (AreaOfInterest only).
+	AoIFraction float64
+	// EntitySpeed is mean entity speed in world-units/second, driving
+	// dead-reckoning extrapolation error.
+	EntitySpeed float64
+}
+
+// DefaultConsistencyParams returns representative fast-paced-game values.
+func DefaultConsistencyParams() ConsistencyParams {
+	return ConsistencyParams{
+		UpdateHz:    20,
+		UpdateBytes: 48,
+		MeanRTTMS:   40,
+		P99RTTMS:    180,
+		AoIFraction: 0.15,
+		EntitySpeed: 5,
+	}
+}
+
+// ConsistencyCost is the per-player cost of one model at one population.
+type ConsistencyCost struct {
+	Model ConsistencyModel
+	// Players in the same contiguous zone.
+	Players int
+	// BandwidthKBps is the downstream per-player bandwidth.
+	BandwidthKBps float64
+	// ResponsivenessMS is the effective input-to-screen delay.
+	ResponsivenessMS float64
+	// StalenessError is the expected world-state divergence (world units)
+	// a player observes; zero for lockstep.
+	StalenessError float64
+}
+
+// EvaluateConsistency computes the per-player cost of a model at a given
+// zone population.
+func EvaluateConsistency(m ConsistencyModel, players int, p ConsistencyParams) (ConsistencyCost, error) {
+	if players < 1 {
+		return ConsistencyCost{}, fmt.Errorf("gaming: players=%d", players)
+	}
+	if p.UpdateHz <= 0 || p.UpdateBytes <= 0 {
+		return ConsistencyCost{}, fmt.Errorf("gaming: bad params %+v", p)
+	}
+	c := ConsistencyCost{Model: m, Players: players}
+	others := float64(players - 1)
+	switch m {
+	case DeadReckoning:
+		// Snapshot of every other entity at UpdateHz, but dead reckoning
+		// suppresses ~60% of updates (only send on divergence).
+		const suppression = 0.4
+		c.BandwidthKBps = others * p.UpdateHz * suppression * float64(p.UpdateBytes) / 1024
+		c.ResponsivenessMS = p.MeanRTTMS/2 + 1000/p.UpdateHz/2
+		// Extrapolation error grows with the inter-update gap.
+		c.StalenessError = p.EntitySpeed * (1 / p.UpdateHz) / (1 - suppression)
+	case Lockstep:
+		// Every tick waits for all inputs: latency bound by the slowest
+		// player; the tick stretches once P99 RTT exceeds the tick period.
+		c.BandwidthKBps = others * p.UpdateHz * float64(p.UpdateBytes) / 1024
+		tickMS := 1000 / p.UpdateHz
+		c.ResponsivenessMS = math.Max(tickMS, p.P99RTTMS) + p.MeanRTTMS/2
+		// Responsiveness also degrades with population: more players, more
+		// chance one straggles (approximate by log growth over P99).
+		c.ResponsivenessMS += p.P99RTTMS * 0.1 * math.Log1p(others)
+		c.StalenessError = 0
+	case AreaOfInterest:
+		visible := math.Max(1, others*p.AoIFraction)
+		c.BandwidthKBps = visible * p.UpdateHz * float64(p.UpdateBytes) / 1024
+		c.ResponsivenessMS = p.MeanRTTMS/2 + 1000/p.UpdateHz/2
+		// Outside the AoI the world is eventually consistent; staleness is
+		// the AoI boundary error.
+		c.StalenessError = p.EntitySpeed * (1 / p.UpdateHz)
+	default:
+		return ConsistencyCost{}, fmt.Errorf("gaming: unknown model %v", m)
+	}
+	return c, nil
+}
+
+// MaxPlayersWithinBudget returns the largest zone population a model
+// sustains within a bandwidth budget (KB/s per player) and a responsiveness
+// bound (ms) — the "few tens of simultaneous players in fast-paced games"
+// limit of §6.3.
+func MaxPlayersWithinBudget(m ConsistencyModel, p ConsistencyParams, maxKBps, maxRespMS float64) int {
+	lo, hi := 1, 1<<20
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		c, err := EvaluateConsistency(m, mid, p)
+		if err != nil || c.BandwidthKBps > maxKBps || c.ResponsivenessMS > maxRespMS {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,253 @@
+// Package gaming simulates the online-gaming ecosystem of paper §6.3 and
+// Figure 4. It models the Virtual World function — players arriving with
+// diurnal patterns, moving between zones, zones sharding onto servers under
+// load — together with the consistency-model cost trade-offs the figure
+// lists (dead reckoning versus lockstep), the Gaming Analytics function
+// (interaction graphs, toxicity detection [35]), and the capacity questions
+// ("can small studios entertain one billion people with near-zero up-front
+// cost?") measured by experiment F4.
+package gaming
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcs/internal/sim"
+	"mcs/internal/social"
+	"mcs/internal/stats"
+)
+
+// WorldConfig parameterizes a virtual-world simulation.
+type WorldConfig struct {
+	// Zones is the number of contiguous virtual-space zones.
+	Zones int
+	// ZoneCapacity is the player count one server sustains per zone; load
+	// beyond it shards the zone onto more servers.
+	ZoneCapacity int
+	// MaxServersPerZone caps sharding of one contiguous zone (the paper's
+	// seamlessness limit: a zone cannot shard indefinitely without breaking
+	// the contiguous virtual space). Default 4.
+	MaxServersPerZone int
+	// ArrivalPerHour is the base player arrival rate; arrivals follow a
+	// diurnal sinusoid with the given amplitude.
+	ArrivalPerHour float64
+	DiurnalAmp     float64
+	// SessionMinutes draws session lengths in minutes.
+	SessionMinutes stats.Dist
+	// MoveEveryMinutes is the mean time between zone changes per player.
+	MoveEveryMinutes float64
+	// Horizon is the simulated duration.
+	Horizon time.Duration
+	Seed    int64
+}
+
+// WorldResult aggregates a virtual-world run.
+type WorldResult struct {
+	PlayersServed  int
+	PeakConcurrent int
+	// PeakServers is the maximum total shard-servers in use.
+	PeakServers int
+	// MeanServers is the time-averaged server count (the cost proxy).
+	MeanServers float64
+	// OverloadTimeShare is the fraction of time at least one zone exceeded
+	// its sharded capacity (a QoS violation: the "not seamless" symptom the
+	// paper describes).
+	OverloadTimeShare float64
+	// ConcurrentSeries tracks concurrent players over time.
+	ConcurrentSeries *stats.TimeSeries
+	ServerSeries     *stats.TimeSeries
+	// Interactions is the implicit social graph of co-zone presence,
+	// feeding the Gaming Analytics function.
+	Interactions *social.InteractionGraph
+}
+
+type player struct {
+	id   int
+	zone int
+}
+
+// RunWorld simulates the virtual world and returns its result.
+func RunWorld(cfg WorldConfig) (*WorldResult, error) {
+	if cfg.Zones <= 0 || cfg.ZoneCapacity <= 0 {
+		return nil, fmt.Errorf("gaming: zones=%d capacity=%d", cfg.Zones, cfg.ZoneCapacity)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("gaming: horizon %v", cfg.Horizon)
+	}
+	if cfg.SessionMinutes == nil {
+		cfg.SessionMinutes = stats.Truncate{D: stats.LogNormal{Mu: 3.4, Sigma: 0.8}, Lo: 5, Hi: 480}
+	}
+	if cfg.MoveEveryMinutes <= 0 {
+		cfg.MoveEveryMinutes = 10
+	}
+	k := sim.New(cfg.Seed)
+	res := &WorldResult{
+		ConcurrentSeries: stats.NewTimeSeries(),
+		ServerSeries:     stats.NewTimeSeries(),
+		Interactions:     social.NewInteractionGraph(),
+	}
+	zonePop := make([]int, cfg.Zones)
+	zoneMembers := make([]map[int]bool, cfg.Zones)
+	for i := range zoneMembers {
+		zoneMembers[i] = make(map[int]bool)
+	}
+	concurrent := 0
+	nextID := 0
+
+	maxShards := cfg.MaxServersPerZone
+	if maxShards <= 0 {
+		maxShards = 4
+	}
+	servers := func() int {
+		total := 0
+		for _, pop := range zonePop {
+			// Each zone shards to ⌈pop/capacity⌉ servers, minimum 1,
+			// bounded by the seamlessness limit.
+			n := (pop + cfg.ZoneCapacity - 1) / cfg.ZoneCapacity
+			if n < 1 {
+				n = 1
+			}
+			if n > maxShards {
+				n = maxShards
+			}
+			total += n
+		}
+		return total
+	}
+
+	enter := func(p *player, zone int, now sim.Time) {
+		p.zone = zone
+		zonePop[zone]++
+		// Record implicit co-presence ties with up to 3 current members
+		// (sampling keeps the graph tractable).
+		count := 0
+		for other := range zoneMembers[zone] {
+			res.Interactions.AddInteraction(playerName(p.id), playerName(other), 1)
+			count++
+			if count >= 3 {
+				break
+			}
+		}
+		zoneMembers[zone][p.id] = true
+	}
+	leaveZone := func(p *player) {
+		zonePop[p.zone]--
+		delete(zoneMembers[p.zone], p.id)
+	}
+
+	var overloadTime time.Duration
+	var lastSample sim.Time
+	sample := func(now sim.Time) {
+		res.ConcurrentSeries.Add(now, float64(concurrent))
+		s := servers()
+		res.ServerSeries.Add(now, float64(s))
+		if s > res.PeakServers {
+			res.PeakServers = s
+		}
+		// Overload accounting between samples: a zone past its sharding
+		// limit violates QoS.
+		anyOver := false
+		for _, pop := range zonePop {
+			if pop > maxShards*cfg.ZoneCapacity {
+				anyOver = true
+				break
+			}
+		}
+		if anyOver {
+			overloadTime += now - lastSample
+		}
+		lastSample = now
+	}
+	monitor := sim.NewTicker(k, time.Minute, sample)
+
+	arrivals := &diurnalArrivals{base: cfg.ArrivalPerHour, amp: cfg.DiurnalAmp}
+	var scheduleArrival func(now sim.Time)
+	var movePlayer func(p *player) sim.Handler
+	movePlayer = func(p *player) sim.Handler {
+		return func(now sim.Time) {
+			if p.zone < 0 {
+				return // already departed
+			}
+			leaveZone(p)
+			enter(p, k.Rand().Intn(cfg.Zones), now)
+			k.MustSchedule(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
+		}
+	}
+	scheduleArrival = func(now sim.Time) {
+		gap := arrivals.next(k)
+		if now+gap >= sim.Time(cfg.Horizon) {
+			return
+		}
+		k.MustSchedule(gap, func(now sim.Time) {
+			nextID++
+			p := &player{id: nextID}
+			res.PlayersServed++
+			concurrent++
+			if concurrent > res.PeakConcurrent {
+				res.PeakConcurrent = concurrent
+			}
+			enter(p, k.Rand().Intn(cfg.Zones), now)
+			sessionMin := cfg.SessionMinutes.Sample(k.Rand())
+			k.MustSchedule(time.Duration(sessionMin*float64(time.Minute)), func(sim.Time) {
+				leaveZone(p)
+				p.zone = -1
+				concurrent--
+			})
+			k.MustSchedule(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
+			scheduleArrival(now)
+		})
+	}
+	scheduleArrival(0)
+	k.SetMaxEvents(20_000_000)
+	k.RunUntil(sim.Time(cfg.Horizon))
+	monitor.Stop()
+
+	res.MeanServers = res.ServerSeries.TimeAverage(0, cfg.Horizon)
+	if cfg.Horizon > 0 {
+		res.OverloadTimeShare = float64(overloadTime) / float64(cfg.Horizon)
+	}
+	return res, nil
+}
+
+func playerName(id int) string { return "p" + itoa(id) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func expDuration(k *sim.Kernel, meanMinutes float64) time.Duration {
+	return time.Duration(k.Rand().ExpFloat64() * meanMinutes * float64(time.Minute))
+}
+
+type diurnalArrivals struct {
+	base, amp float64
+	now       sim.Time
+}
+
+func (d *diurnalArrivals) next(k *sim.Kernel) time.Duration {
+	peak := d.base * (1 + d.amp)
+	if peak <= 0 {
+		return time.Hour
+	}
+	start := d.now
+	for {
+		gap := time.Duration(k.Rand().ExpFloat64() / peak * float64(time.Hour))
+		d.now += gap
+		hours := d.now.Hours()
+		rate := d.base * (1 + d.amp*math.Sin(2*math.Pi*hours/24))
+		if k.Rand().Float64() <= rate/peak {
+			return d.now - start
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package graphproc
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the Graphalytics-style benchmarking harness (paper C16,
+// ref [42]): it runs (platform, algorithm, dataset) combinations and reports
+// the standard metrics — makespan and EVPS (edges visited per second) — so
+// the P-A-D triangle (refs [45], [46]) can be reproduced as experiment D4.
+
+// Algorithm names one of the six Graphalytics kernels.
+type Algorithm string
+
+// The six Graphalytics kernels.
+const (
+	AlgBFS      Algorithm = "bfs"
+	AlgPageRank Algorithm = "pagerank"
+	AlgWCC      Algorithm = "wcc"
+	AlgCDLP     Algorithm = "cdlp"
+	AlgLCC      Algorithm = "lcc"
+	AlgSSSP     Algorithm = "sssp"
+)
+
+// Algorithms lists all kernels in canonical Graphalytics order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgBFS, AlgPageRank, AlgWCC, AlgCDLP, AlgLCC, AlgSSSP}
+}
+
+// RunResult is one harness measurement.
+type RunResult struct {
+	Algorithm Algorithm
+	Engine    Engine
+	Vertices  int
+	Edges     int
+	Makespan  time.Duration
+	// EVPS is edges (visited per iteration) per second, the Graphalytics
+	// throughput metric; for iterative kernels the edge count is multiplied
+	// by the number of iterations.
+	EVPS float64
+	// Checksum is an order-independent digest of the output used to verify
+	// engine equivalence (sequential vs parallel must agree).
+	Checksum float64
+}
+
+// RunAlgorithm executes one kernel on one engine and measures it. Iterative
+// kernels (PageRank, CDLP) run the Graphalytics-standard iteration counts.
+func RunAlgorithm(g *Graph, alg Algorithm, e Engine) (RunResult, error) {
+	res := RunResult{
+		Algorithm: alg, Engine: e,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(),
+	}
+	iterations := 1
+	start := time.Now()
+	switch alg {
+	case AlgBFS:
+		res.Checksum = checksumInt64(BFS(g, 0, e))
+	case AlgPageRank:
+		iterations = 20
+		res.Checksum = checksumFloat(PageRank(g, iterations, e))
+	case AlgWCC:
+		res.Checksum = checksumInt64(WCC(g, e))
+	case AlgCDLP:
+		iterations = 10
+		res.Checksum = checksumInt64(CDLP(g, iterations, e))
+	case AlgLCC:
+		res.Checksum = checksumFloat(LCC(g, e))
+	case AlgSSSP:
+		res.Checksum = checksumFloat(SSSP(g, 0, e))
+	default:
+		return res, fmt.Errorf("graphproc: unknown algorithm %q", alg)
+	}
+	res.Makespan = time.Since(start)
+	if res.Makespan > 0 {
+		res.EVPS = float64(g.NumEdges()*iterations) / res.Makespan.Seconds()
+	}
+	return res, nil
+}
+
+// checksumInt64 digests an output vector order-independently (sum of
+// position-weighted values), stable across engines.
+func checksumInt64(xs []int64) float64 {
+	var sum float64
+	for i, x := range xs {
+		sum += float64(x) * float64(i%97+1)
+	}
+	return sum
+}
+
+func checksumFloat(xs []float64) float64 {
+	var sum float64
+	for i, x := range xs {
+		if x > 1e17 { // +Inf distances fold to a fixed sentinel
+			x = 1e17
+		}
+		sum += x * float64(i%97+1)
+	}
+	return sum
+}

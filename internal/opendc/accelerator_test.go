@@ -1,0 +1,82 @@
+package opendc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/workload"
+)
+
+// TestAcceleratorTasksLandOnGPUMachines is the C4 functional-heterogeneity
+// check: tasks declaring an accelerator requirement must run only on
+// machines whose class carries it, even when CPU machines are idle.
+func TestAcceleratorTasksLandOnGPUMachines(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cluster := dcmodel.NewHeterogeneous("het", []dcmodel.Mix{
+		{Class: dcmodel.ClassCommodity, Count: 6},
+		{Class: dcmodel.ClassGPU, Count: 2},
+	}, 8, r)
+	gpuMachines := map[dcmodel.MachineID]bool{}
+	for _, m := range cluster.Machines {
+		if m.Class.Accelerator == "gpu" {
+			gpuMachines[m.ID] = true
+		}
+	}
+
+	var tasks []workload.Task
+	for i := 0; i < 20; i++ {
+		task := workload.Task{
+			ID: workload.TaskID(i + 1), Job: 1, Cores: 2, MemoryMB: 1024,
+			Runtime: time.Minute,
+		}
+		if i%2 == 0 {
+			task.Accelerator = "gpu"
+		}
+		tasks = append(tasks, task)
+	}
+	res, err := Run(&Scenario{
+		Cluster:  cluster,
+		Workload: &workload.Workload{Jobs: []workload.Job{{ID: 1, User: "ml", Tasks: tasks}}},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 {
+		t.Fatalf("completed=%d, want 20", res.Completed)
+	}
+	for _, rec := range res.Records {
+		needsGPU := rec.Task%2 == 1 // odd IDs got the accelerator flag
+		if needsGPU && !gpuMachines[rec.Machine] {
+			t.Errorf("GPU task %d ran on non-GPU machine %d", rec.Task, rec.Machine)
+		}
+	}
+}
+
+// TestAcceleratorStarvationWhenAbsent: accelerator tasks on a CPU-only
+// cluster never start and are reported as unfinished rather than silently
+// misplaced.
+func TestAcceleratorStarvationWhenAbsent(t *testing.T) {
+	w := &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "ml",
+		Tasks: []workload.Task{{
+			ID: 1, Job: 1, Cores: 1, MemoryMB: 1, Runtime: time.Minute,
+			Accelerator: "gpu",
+		}},
+	}}}
+	res, err := Run(&Scenario{
+		Cluster:  dcmodel.NewHomogeneous("cpu", 4, dcmodel.ClassCommodity, 8),
+		Workload: w,
+		Horizon:  time.Hour,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Failed != 1 {
+		t.Errorf("completed=%d failed=%d; GPU task must starve on CPU cluster",
+			res.Completed, res.Failed)
+	}
+}

@@ -1,0 +1,356 @@
+package opendc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/failure"
+	"mcs/internal/sched"
+	"mcs/internal/workload"
+)
+
+func singleTaskWorkload() *workload.Workload {
+	return &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "u", Submit: 0,
+		Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, MemoryMB: 100, Runtime: 10 * time.Second}},
+	}}}
+}
+
+func TestRunSingleTask(t *testing.T) {
+	sc := &Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 1, dcmodel.ClassCommodity, 8),
+		Workload: singleTaskWorkload(),
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d", res.Completed, res.Failed)
+	}
+	if res.Makespan != 10*time.Second {
+		t.Errorf("makespan=%v, want 10s", res.Makespan)
+	}
+	if res.MeanWait != 0 {
+		t.Errorf("wait=%v, want 0 on an idle cluster", res.MeanWait)
+	}
+	if res.EnergyKWh <= 0 {
+		t.Errorf("energy=%v", res.EnergyKWh)
+	}
+}
+
+func TestRunRejectsInvalidScenarios(t *testing.T) {
+	if _, err := Run(&Scenario{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(&Scenario{Cluster: dcmodel.NewHomogeneous("c", 1, dcmodel.ClassCommodity, 8)}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestMachineSpeedScalesRuntime(t *testing.T) {
+	fast := dcmodel.ClassCommodity
+	fast.Speed = 2.0
+	sc := &Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 1, fast, 8),
+		Workload: singleTaskWorkload(),
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5*time.Second {
+		t.Errorf("makespan on 2x machine=%v, want 5s", res.Makespan)
+	}
+}
+
+func TestDependenciesRespected(t *testing.T) {
+	w := &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "u",
+		Tasks: []workload.Task{
+			{ID: 1, Job: 1, Cores: 1, MemoryMB: 1, Runtime: 10 * time.Second},
+			{ID: 2, Job: 1, Cores: 1, MemoryMB: 1, Runtime: 5 * time.Second, Deps: []workload.TaskID{1}},
+			{ID: 3, Job: 1, Cores: 1, MemoryMB: 1, Runtime: 5 * time.Second, Deps: []workload.TaskID{1, 2}},
+		},
+	}}}
+	sc := &Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 4, dcmodel.ClassCommodity, 8),
+		Workload: w,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTask := map[workload.TaskID]TaskRecord{}
+	for _, r := range res.Records {
+		byTask[r.Task] = r
+	}
+	if byTask[2].Start < byTask[1].Finish {
+		t.Errorf("task 2 started %v before dep finished %v", byTask[2].Start, byTask[1].Finish)
+	}
+	if byTask[3].Start < byTask[2].Finish {
+		t.Errorf("task 3 started %v before dep finished %v", byTask[3].Start, byTask[2].Finish)
+	}
+	if res.Makespan != 20*time.Second {
+		t.Errorf("chain makespan=%v, want 20s", res.Makespan)
+	}
+}
+
+func TestQueueingUnderContention(t *testing.T) {
+	// 1 machine × 16 cores; 32 single-core 10s tasks → two waves.
+	tasks := make([]workload.Task, 32)
+	for i := range tasks {
+		tasks[i] = workload.Task{
+			ID: workload.TaskID(i + 1), Job: 1, Cores: 1, MemoryMB: 1,
+			Runtime: 10 * time.Second,
+		}
+	}
+	sc := &Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 1, dcmodel.ClassCommodity, 8),
+		Workload: &workload.Workload{Jobs: []workload.Job{{ID: 1, User: "u", Tasks: tasks}}},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 32 {
+		t.Fatalf("completed=%d", res.Completed)
+	}
+	if res.Makespan != 20*time.Second {
+		t.Errorf("two-wave makespan=%v, want 20s", res.Makespan)
+	}
+	if res.MeanWait <= 0 {
+		t.Error("expected queueing delay under contention")
+	}
+}
+
+// The headline F3/T3-C7 shape: EASY backfilling beats strict FCFS on a
+// workload where a wide task blocks the head of the queue.
+func TestEASYBackfillBeatsStrictFCFS(t *testing.T) {
+	run := func(mode sched.QueueMode) *Result {
+		// Machine: 16 cores. Long 8-core task running; wide 16-core task at
+		// head; stream of small tasks behind it that could backfill.
+		tasks := []workload.Task{
+			{ID: 1, Job: 1, Cores: 8, MemoryMB: 1, Runtime: 100 * time.Second},
+			{ID: 2, Job: 1, Cores: 16, MemoryMB: 1, Runtime: 10 * time.Second},
+		}
+		for i := 0; i < 20; i++ {
+			tasks = append(tasks, workload.Task{
+				ID: workload.TaskID(i + 3), Job: 1, Cores: 4, MemoryMB: 1,
+				Runtime: 20 * time.Second,
+			})
+		}
+		sc := &Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", 1, dcmodel.ClassCommodity, 8),
+			Workload: &workload.Workload{Jobs: []workload.Job{{ID: 1, User: "u", Tasks: tasks}}},
+			Sched:    sched.Config{Mode: mode},
+		}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	strict := run(sched.Strict)
+	easy := run(sched.EASY)
+	if easy.MeanWait >= strict.MeanWait {
+		t.Errorf("EASY mean wait %v not below strict %v", easy.MeanWait, strict.MeanWait)
+	}
+	if easy.Makespan > strict.Makespan {
+		t.Errorf("EASY makespan %v worse than strict %v", easy.Makespan, strict.Makespan)
+	}
+}
+
+func TestFailuresRestartTasks(t *testing.T) {
+	// Deterministic failure storm over a long task: tasks must restart and
+	// eventually complete on the repaired machine.
+	w := &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "u",
+		Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, MemoryMB: 1, Runtime: 60 * time.Second}},
+	}}}
+	sc := &Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 2, dcmodel.ClassCommodity, 8),
+		Workload: w,
+		Failures: failure.IndependentModel(2*time.Minute, 30*time.Second),
+		Horizon:  6 * time.Hour,
+		Seed:     3,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Failed != 1 {
+		t.Fatalf("task lost: completed=%d failed=%d", res.Completed, res.Failed)
+	}
+	if res.FailureRestarts == 0 {
+		t.Skip("seed produced no failure overlapping the task; adjust seed")
+	}
+	if res.Completed == 1 {
+		var rec TaskRecord
+		for _, r := range res.Records {
+			rec = r
+		}
+		if rec.Attempts < 2 {
+			t.Errorf("attempts=%d after %d restarts", rec.Attempts, res.FailureRestarts)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	mk := func() *Scenario {
+		r := rand.New(rand.NewSource(5))
+		w, err := workload.Generate(workload.GeneratorConfig{Jobs: 60}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", 8, dcmodel.ClassCommodity, 8),
+			Workload: w,
+			Failures: failure.CorrelatedModel(time.Hour, 10*time.Minute, 3),
+			Horizon:  12 * time.Hour,
+			Seed:     7,
+		}
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Completed != b.Completed ||
+		a.MeanWait != b.MeanWait || a.SimulatedEvents != b.SimulatedEvents {
+		t.Errorf("same-seed runs diverge: %+v vs %+v", a.Makespan, b.Makespan)
+	}
+}
+
+// Scheduler safety property: conservation — every generated task ends up
+// exactly once in completed or failed; starts never precede readiness.
+func TestConservationProperty(t *testing.T) {
+	prop := func(seed int64, jobsRaw, machinesRaw uint8) bool {
+		jobs := int(jobsRaw%30) + 1
+		machines := int(machinesRaw%6) + 1
+		r := rand.New(rand.NewSource(seed))
+		w, err := workload.Generate(workload.GeneratorConfig{
+			Jobs:  jobs,
+			Shape: workload.RandomDAG,
+		}, r)
+		if err != nil {
+			return false
+		}
+		sc := &Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", machines, dcmodel.ClassCommodity, 8),
+			Workload: w,
+			Seed:     seed,
+		}
+		res, err := Run(sc)
+		if err != nil {
+			return false
+		}
+		if res.Completed+res.Failed != w.TaskCount() {
+			return false
+		}
+		for _, rec := range res.Records {
+			if rec.Completed && rec.Start < rec.Ready {
+				return false
+			}
+			if rec.Completed && rec.Finish < rec.Start {
+				return false
+			}
+		}
+		return res.Utilization >= 0 && res.Utilization <= 1.0001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryConstraintLimitsPacking(t *testing.T) {
+	// Machine with 1000 MB; two tasks of 600 MB each cannot co-run even
+	// though cores are plentiful.
+	class := dcmodel.MachineClass{Name: "tiny", Cores: 16, MemoryMB: 1000, Speed: 1, MaxWatts: 100}
+	w := &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "u",
+		Tasks: []workload.Task{
+			{ID: 1, Job: 1, Cores: 1, MemoryMB: 600, Runtime: 10 * time.Second},
+			{ID: 2, Job: 1, Cores: 1, MemoryMB: 600, Runtime: 10 * time.Second},
+		},
+	}}}
+	res, err := Run(&Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 1, class, 8),
+		Workload: w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 20*time.Second {
+		t.Errorf("memory-constrained makespan=%v, want 20s (serialized)", res.Makespan)
+	}
+}
+
+func TestDeadlineAccounting(t *testing.T) {
+	w := &workload.Workload{Jobs: []workload.Job{
+		{
+			ID: 1, User: "u", Deadline: 15 * time.Second,
+			Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, MemoryMB: 1, Runtime: 10 * time.Second}},
+		},
+		{
+			ID: 2, User: "u", Deadline: 5 * time.Second,
+			Tasks: []workload.Task{{ID: 2, Job: 2, Cores: 1, MemoryMB: 1, Runtime: 10 * time.Second}},
+		},
+	}}
+	res, err := Run(&Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 2, dcmodel.ClassCommodity, 8),
+		Workload: w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMet != 1 || res.DeadlineMisses != 1 {
+		t.Errorf("met=%d missed=%d, want 1/1", res.DeadlineMet, res.DeadlineMisses)
+	}
+}
+
+func TestMonitoringSeriesPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	w, err := workload.Generate(workload.GeneratorConfig{Jobs: 30}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&Scenario{
+		Cluster:         dcmodel.NewHomogeneous("c", 4, dcmodel.ClassCommodity, 8),
+		Workload:        w,
+		MonitorInterval: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DemandSeries.Len() == 0 || res.UtilizationSeries.Len() == 0 {
+		t.Error("monitoring series empty")
+	}
+	for _, p := range res.UtilizationSeries.Points() {
+		if p.V < 0 || p.V > 1 {
+			t.Fatalf("utilization sample %v out of [0,1]", p.V)
+		}
+	}
+}
+
+func BenchmarkRun500Jobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(1))
+		w, err := workload.Generate(workload.GeneratorConfig{Jobs: 500}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(&Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", 32, dcmodel.ClassCommodity, 8),
+			Workload: w,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package opendc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/sched"
+	"mcs/internal/stats"
+	"mcs/internal/workload"
+)
+
+// TestPortfolioConvergesNearBestFixedPolicy is the C6 ablation: on a
+// workload with extreme runtime variance (where SJF beats LJF decisively),
+// the self-aware portfolio must land within 2x of the best fixed policy and
+// clearly beat the worst.
+func TestPortfolioConvergesNearBestFixedPolicy(t *testing.T) {
+	mkWorkload := func() *workload.Workload {
+		r := rand.New(rand.NewSource(17))
+		w, err := workload.Generate(workload.GeneratorConfig{
+			Jobs:    200,
+			Arrival: workload.Poisson{RatePerHour: 240},
+			// Heavy-tailed runtimes: a few giants, many mice.
+			RuntimeSeconds: stats.Truncate{D: stats.Pareto{Xm: 20, Alpha: 1.1}, Lo: 20, Hi: 7200},
+		}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	run := func(q sched.QueuePolicy) time.Duration {
+		res, err := Run(&Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", 2, dcmodel.ClassCommodity, 8),
+			Workload: mkWorkload(),
+			Sched:    sched.Config{Queue: q, Mode: sched.Greedy},
+			Seed:     17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanWait
+	}
+	best := run(sched.SJF{})
+	worst := run(sched.LJF{})
+	portfolio := run(sched.NewPortfolio(sched.LJF{}, sched.FCFS{}, sched.SJF{}))
+	if worst <= best {
+		t.Skipf("workload did not separate policies (best %v, worst %v)", best, worst)
+	}
+	if portfolio > 2*best && portfolio > (best+worst)/2 {
+		t.Errorf("portfolio mean wait %v; best fixed %v, worst fixed %v", portfolio, best, worst)
+	}
+	if portfolio >= worst {
+		t.Errorf("portfolio %v no better than the worst fixed policy %v", portfolio, worst)
+	}
+}

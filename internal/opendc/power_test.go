@@ -1,0 +1,124 @@
+package opendc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/workload"
+)
+
+// sparseWorkload builds widely spaced jobs so machines idle between them —
+// the energy-proportionality scenario of adaptation class (v) in the
+// authors' survey [95].
+func sparseWorkload() *workload.Workload {
+	w := &workload.Workload{}
+	for i := 0; i < 6; i++ {
+		id := workload.JobID(i + 1)
+		w.Jobs = append(w.Jobs, workload.Job{
+			ID: id, User: "u", Submit: time.Duration(i) * time.Hour,
+			Tasks: []workload.Task{{
+				ID: workload.TaskID(i + 1), Job: id, Cores: 4, MemoryMB: 100,
+				Runtime: 5 * time.Minute,
+			}},
+		})
+	}
+	return w
+}
+
+func TestPowerPolicySavesEnergyOnSparseLoad(t *testing.T) {
+	run := func(power *PowerPolicy) *Result {
+		res, err := Run(&Scenario{
+			Cluster:  dcmodel.NewHomogeneous("c", 8, dcmodel.ClassCommodity, 8),
+			Workload: sparseWorkload(),
+			Power:    power,
+			Horizon:  7 * time.Hour,
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	always := run(nil)
+	managed := run(&PowerPolicy{IdleTimeout: 10 * time.Minute, WakeDelay: 30 * time.Second})
+	if always.Completed != 6 || managed.Completed != 6 {
+		t.Fatalf("completions %d/%d, want 6/6", always.Completed, managed.Completed)
+	}
+	// The energy claim: sleeping idle machines cuts energy substantially.
+	if managed.EnergyKWh >= always.EnergyKWh*0.7 {
+		t.Errorf("managed energy %.2f kWh not well below always-on %.2f kWh",
+			managed.EnergyKWh, always.EnergyKWh)
+	}
+	// The cost: waking pays latency on arrivals that find machines asleep.
+	if managed.MeanWait < always.MeanWait {
+		t.Errorf("managed wait %v below always-on %v; wake delay unmodeled?",
+			managed.MeanWait, always.MeanWait)
+	}
+	if managed.MeanWait > time.Minute {
+		t.Errorf("managed mean wait %v exceeds the 30s wake delay by too much", managed.MeanWait)
+	}
+}
+
+func TestPowerPolicyDoesNotLoseWorkUnderLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	w, err := workload.Generate(workload.GeneratorConfig{Jobs: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&Scenario{
+		Cluster:  dcmodel.NewHomogeneous("c", 8, dcmodel.ClassCommodity, 8),
+		Workload: w,
+		Power:    &PowerPolicy{IdleTimeout: time.Minute, WakeDelay: 10 * time.Second},
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Failed != w.TaskCount() {
+		t.Fatalf("conservation broken under power management: %d+%d != %d",
+			res.Completed, res.Failed, w.TaskCount())
+	}
+	if res.Failed != 0 {
+		t.Errorf("power management failed %d tasks", res.Failed)
+	}
+}
+
+func TestSleepingMachineStateInvariants(t *testing.T) {
+	m := &dcmodel.Machine{ID: 1, Class: dcmodel.ClassCommodity}
+	// Busy machines refuse to sleep.
+	m.Allocate(1, 1)
+	m.SetAsleep(true)
+	if m.Asleep() {
+		t.Error("busy machine slept")
+	}
+	m.Release(1, 1)
+	m.SetAsleep(true)
+	if !m.Asleep() || m.Fits(1, 1) || m.FreeCores() != 0 {
+		t.Error("asleep machine still schedulable")
+	}
+	// Failure clears sleep; repair wakes.
+	m.SetDown(true)
+	if m.Asleep() {
+		t.Error("down machine still asleep")
+	}
+	m.SetDown(false)
+	if m.Asleep() || !m.Fits(1, 1) {
+		t.Error("repaired machine not awake")
+	}
+}
+
+func TestSleepPowerDraw(t *testing.T) {
+	c := dcmodel.NewHomogeneous("c", 2, dcmodel.ClassCommodity, 8)
+	awake := c.PowerWatts()
+	c.Machines[0].SetAsleep(true)
+	slept := c.PowerWatts()
+	want := dcmodel.ClassCommodity.IdleWatts + dcmodel.SleepWatts
+	if slept != want {
+		t.Errorf("power with one asleep=%v, want %v", slept, want)
+	}
+	if slept >= awake {
+		t.Errorf("sleeping did not reduce power: %v vs %v", slept, awake)
+	}
+}

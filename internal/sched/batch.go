@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/workload"
+)
+
+// This file implements the classic offline batch-mapping heuristics (Min-Min
+// and Max-Max/Max-Min) that the grid-scheduling literature the paper draws on
+// ([117], "hundreds of approaches and policies") uses as baselines, plus a
+// makespan lower bound for evaluating them.
+
+// Assignment maps a task to a machine with a planned start time.
+type Assignment struct {
+	Task    workload.TaskID
+	Machine dcmodel.MachineID
+	Start   time.Duration
+	Finish  time.Duration
+}
+
+// BatchHeuristic selects an offline mapping heuristic.
+type BatchHeuristic int
+
+// Batch heuristics. MinMin repeatedly assigns the task with the smallest
+// minimum completion time; MaxMin assigns the task with the largest minimum
+// completion time first (protects long tasks); Sufferage assigns the task
+// that would suffer most from not getting its best machine.
+const (
+	MinMin BatchHeuristic = iota + 1
+	MaxMin
+	Sufferage
+)
+
+// String implements fmt.Stringer.
+func (h BatchHeuristic) String() string {
+	switch h {
+	case MinMin:
+		return "min-min"
+	case MaxMin:
+		return "max-min"
+	case Sufferage:
+		return "sufferage"
+	default:
+		return "heuristic?"
+	}
+}
+
+// MapBatch maps an independent task batch onto machines (one task per
+// machine-core-slot at a time; machines process their queue serially per
+// core group). Machines are modeled as single servers whose speed scales
+// runtimes — the standard model for mapping heuristics. It returns the
+// assignments and the resulting makespan.
+func MapBatch(tasks []workload.Task, machines []*dcmodel.Machine, h BatchHeuristic) ([]Assignment, time.Duration) {
+	if len(tasks) == 0 || len(machines) == 0 {
+		return nil, 0
+	}
+	// ready[m] is when machine m is next free.
+	ready := make([]time.Duration, len(machines))
+	remaining := make([]int, len(tasks))
+	for i := range tasks {
+		remaining[i] = i
+	}
+	exec := func(ti, mi int) time.Duration {
+		return time.Duration(float64(tasks[ti].Runtime) / machines[mi].Class.Speed)
+	}
+	var out []Assignment
+	var makespan time.Duration
+	for len(remaining) > 0 {
+		// For each remaining task, find best machine (min completion time).
+		type choice struct {
+			taskIdx, machIdx int
+			completion       time.Duration
+			sufferage        time.Duration
+		}
+		choices := make([]choice, 0, len(remaining))
+		for _, ti := range remaining {
+			best, second := time.Duration(1<<62), time.Duration(1<<62)
+			bestM := 0
+			for mi := range machines {
+				ct := ready[mi] + exec(ti, mi)
+				if ct < best {
+					second = best
+					best = ct
+					bestM = mi
+				} else if ct < second {
+					second = ct
+				}
+			}
+			suf := second - best
+			if second == time.Duration(1<<62) {
+				suf = 0
+			}
+			choices = append(choices, choice{taskIdx: ti, machIdx: bestM, completion: best, sufferage: suf})
+		}
+		// Pick per heuristic.
+		pick := 0
+		for i := 1; i < len(choices); i++ {
+			switch h {
+			case MinMin:
+				if choices[i].completion < choices[pick].completion {
+					pick = i
+				}
+			case MaxMin:
+				if choices[i].completion > choices[pick].completion {
+					pick = i
+				}
+			case Sufferage:
+				if choices[i].sufferage > choices[pick].sufferage {
+					pick = i
+				}
+			}
+		}
+		ch := choices[pick]
+		start := ready[ch.machIdx]
+		out = append(out, Assignment{
+			Task:    tasks[ch.taskIdx].ID,
+			Machine: machines[ch.machIdx].ID,
+			Start:   start,
+			Finish:  ch.completion,
+		})
+		ready[ch.machIdx] = ch.completion
+		if ch.completion > makespan {
+			makespan = ch.completion
+		}
+		// Remove the picked task.
+		for i, ti := range remaining {
+			if ti == ch.taskIdx {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, makespan
+}
+
+// MakespanLowerBound returns max(total-work/total-speed, longest-task/fastest)
+// — the standard LP-relaxation lower bound used to judge heuristic quality.
+func MakespanLowerBound(tasks []workload.Task, machines []*dcmodel.Machine) time.Duration {
+	if len(tasks) == 0 || len(machines) == 0 {
+		return 0
+	}
+	var totalWork float64 // reference seconds
+	var longest time.Duration
+	for _, t := range tasks {
+		totalWork += t.Runtime.Seconds()
+		if t.Runtime > longest {
+			longest = t.Runtime
+		}
+	}
+	var totalSpeed, fastest float64
+	for _, m := range machines {
+		totalSpeed += m.Class.Speed
+		if m.Class.Speed > fastest {
+			fastest = m.Class.Speed
+		}
+	}
+	lbWork := time.Duration(totalWork / totalSpeed * float64(time.Second))
+	lbLong := time.Duration(float64(longest) / fastest)
+	if lbWork > lbLong {
+		return lbWork
+	}
+	return lbLong
+}

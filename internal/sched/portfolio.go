@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"time"
+)
+
+// This file implements portfolio scheduling — class (iv) of the adaptation
+// approaches in the authors' self-awareness survey (paper C6, ref [95], and
+// the datacenter RM&S line of [112]): the scheduler carries a portfolio of
+// queue policies and switches among them at runtime based on observed
+// performance, realizing "select from these approaches those most promising
+// ... automatically".
+
+// Observer is implemented by queue policies that want runtime feedback; the
+// simulation engine reports every task completion.
+type Observer interface {
+	// TaskCompleted reports the queueing delay and service time of a
+	// finished task at virtual time now.
+	TaskCompleted(now, wait, service time.Duration)
+}
+
+// Portfolio is a self-aware queue policy: it runs one member policy at a
+// time, scores each epoch by mean bounded slowdown, and switches to the
+// portfolio's historically best policy after an exploration round-robin.
+type Portfolio struct {
+	// Policies is the portfolio; the first is the initial incumbent.
+	Policies []QueuePolicy
+	// Epoch is the evaluation window (default 30 minutes of virtual time).
+	Epoch time.Duration
+
+	current    int
+	epochStart time.Duration
+	epochSum   float64
+	epochCount int
+	// score[i] is the exponentially smoothed slowdown of policy i (0 =
+	// never evaluated).
+	score    []float64
+	explored int
+}
+
+var (
+	_ QueuePolicy = (*Portfolio)(nil)
+	_ Observer    = (*Portfolio)(nil)
+)
+
+// NewPortfolio returns a portfolio over the given policies.
+func NewPortfolio(policies ...QueuePolicy) *Portfolio {
+	return &Portfolio{
+		Policies: policies,
+		Epoch:    30 * time.Minute,
+		score:    make([]float64, len(policies)),
+	}
+}
+
+// Name implements QueuePolicy.
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// Current returns the incumbent policy's name (for reports).
+func (p *Portfolio) Current() string {
+	if len(p.Policies) == 0 {
+		return "none"
+	}
+	return p.Policies[p.current].Name()
+}
+
+// Order implements QueuePolicy by delegating to the incumbent, evaluating
+// the epoch boundary first.
+func (p *Portfolio) Order(pending []*QueuedTask, now time.Duration) {
+	if len(p.Policies) == 0 {
+		return
+	}
+	p.maybeSwitch(now)
+	p.Policies[p.current].Order(pending, now)
+}
+
+// TaskCompleted implements Observer: accumulate the epoch's slowdown sample.
+func (p *Portfolio) TaskCompleted(now, wait, service time.Duration) {
+	const bound = 10 * time.Second
+	if service < bound {
+		service = bound
+	}
+	p.epochSum += float64(wait+service) / float64(service)
+	p.epochCount++
+	p.maybeSwitch(now)
+}
+
+func (p *Portfolio) maybeSwitch(now time.Duration) {
+	epoch := p.Epoch
+	if epoch <= 0 {
+		epoch = 30 * time.Minute
+	}
+	if now-p.epochStart < epoch {
+		return
+	}
+	// Score the finished epoch (idle epochs carry no information).
+	if p.epochCount > 0 {
+		mean := p.epochSum / float64(p.epochCount)
+		if p.score[p.current] == 0 {
+			p.score[p.current] = mean
+		} else {
+			p.score[p.current] = 0.5*p.score[p.current] + 0.5*mean
+		}
+	}
+	p.epochStart = now
+	p.epochSum = 0
+	p.epochCount = 0
+	// Exploration: visit every policy once; then exploit the best scorer.
+	if p.explored < len(p.Policies)-1 {
+		p.explored++
+		p.current = p.explored
+		return
+	}
+	best := p.current
+	for i, s := range p.score {
+		if s == 0 {
+			continue
+		}
+		if p.score[best] == 0 || s < p.score[best] {
+			best = i
+		}
+	}
+	p.current = best
+}

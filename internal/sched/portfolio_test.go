@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"mcs/internal/workload"
+)
+
+func TestPortfolioDelegatesToIncumbent(t *testing.T) {
+	p := NewPortfolio(SJF{}, FCFS{})
+	pending := []*QueuedTask{
+		qt(1, 0, 30*time.Second, 1),
+		qt(2, 0, 10*time.Second, 1),
+	}
+	p.Order(pending, 0)
+	if pending[0].Task.ID != 2 {
+		t.Errorf("portfolio did not delegate to SJF: %v", ids(pending))
+	}
+	if p.Name() != "portfolio" || p.Current() != "sjf" {
+		t.Errorf("name=%q current=%q", p.Name(), p.Current())
+	}
+}
+
+func TestPortfolioExploresThenExploitsBest(t *testing.T) {
+	p := NewPortfolio(LJF{}, SJF{})
+	p.Epoch = time.Minute
+
+	// Epoch 1 under LJF: terrible slowdowns.
+	for i := 0; i < 10; i++ {
+		p.TaskCompleted(30*time.Second, 100*time.Second, 10*time.Second)
+	}
+	p.TaskCompleted(61*time.Second, 100*time.Second, 10*time.Second) // boundary
+	if p.Current() != "sjf" {
+		t.Fatalf("exploration did not advance, current=%q", p.Current())
+	}
+	// Epoch 2 under SJF: good slowdowns.
+	for i := 0; i < 10; i++ {
+		p.TaskCompleted(90*time.Second, time.Second, 10*time.Second)
+	}
+	p.TaskCompleted(122*time.Second, time.Second, 10*time.Second) // boundary
+	// Exploitation must settle on SJF (lower score).
+	if p.Current() != "sjf" {
+		t.Errorf("portfolio exploited %q, want sjf", p.Current())
+	}
+	// Even after more epochs it stays with the better policy.
+	p.TaskCompleted(200*time.Second, time.Second, 10*time.Second)
+	p.TaskCompleted(300*time.Second, time.Second, 10*time.Second)
+	if p.Current() != "sjf" {
+		t.Errorf("portfolio drifted to %q", p.Current())
+	}
+}
+
+func TestPortfolioEmptyIsInert(t *testing.T) {
+	p := NewPortfolio()
+	p.Order(nil, 0)
+	if p.Current() != "none" {
+		t.Errorf("current=%q", p.Current())
+	}
+}
+
+func TestPortfolioIdleEpochsCarryNoScore(t *testing.T) {
+	p := NewPortfolio(FCFS{}, SJF{})
+	p.Epoch = time.Minute
+	// Boundary crossings with no completions must still explore.
+	var pending []*QueuedTask
+	p.Order(pending, 61*time.Second)
+	if p.Current() != "sjf" {
+		t.Errorf("idle epoch did not advance exploration: %q", p.Current())
+	}
+}
+
+// Guard against regressions in the Observer wiring contract.
+func TestObserverInterface(t *testing.T) {
+	var q QueuePolicy = NewPortfolio(FCFS{})
+	if _, ok := q.(Observer); !ok {
+		t.Fatal("Portfolio must implement Observer")
+	}
+	var base QueuePolicy = FCFS{}
+	if _, ok := base.(Observer); ok {
+		t.Fatal("FCFS must not implement Observer")
+	}
+	_ = workload.Task{} // keep the import for the shared test helpers
+}

@@ -1,0 +1,236 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/workload"
+)
+
+func qt(id workload.TaskID, ready time.Duration, runtime time.Duration, cores int) *QueuedTask {
+	return &QueuedTask{
+		Task:  &workload.Task{ID: id, Cores: cores, MemoryMB: 1, Runtime: runtime},
+		Ready: ready,
+	}
+}
+
+func ids(pending []*QueuedTask) []workload.TaskID {
+	out := make([]workload.TaskID, len(pending))
+	for i, p := range pending {
+		out[i] = p.Task.ID
+	}
+	return out
+}
+
+func TestFCFSOrdersByReady(t *testing.T) {
+	pending := []*QueuedTask{
+		qt(1, 3*time.Second, time.Second, 1),
+		qt(2, 1*time.Second, time.Second, 1),
+		qt(3, 2*time.Second, time.Second, 1),
+	}
+	FCFS{}.Order(pending, 0)
+	got := ids(pending)
+	want := []workload.TaskID{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestSJFAndLJF(t *testing.T) {
+	mk := func() []*QueuedTask {
+		return []*QueuedTask{
+			qt(1, 0, 30*time.Second, 1),
+			qt(2, 0, 10*time.Second, 1),
+			qt(3, 0, 20*time.Second, 1),
+		}
+	}
+	p := mk()
+	SJF{}.Order(p, 0)
+	if got := ids(p); got[0] != 2 || got[2] != 1 {
+		t.Errorf("SJF order=%v", got)
+	}
+	p = mk()
+	LJF{}.Order(p, 0)
+	if got := ids(p); got[0] != 1 || got[2] != 2 {
+		t.Errorf("LJF order=%v", got)
+	}
+}
+
+func TestWFP3PrefersLongWaiters(t *testing.T) {
+	pending := []*QueuedTask{
+		qt(1, 99*time.Second, 10*time.Second, 1), // waited 1s
+		qt(2, 0, 10*time.Second, 1),              // waited 100s
+	}
+	WFP3{}.Order(pending, 100*time.Second)
+	if ids(pending)[0] != 2 {
+		t.Errorf("WFP3 did not prioritize the starved task: %v", ids(pending))
+	}
+}
+
+func TestFairShareFavorsLightUsers(t *testing.T) {
+	fs := NewFairShare()
+	fs.Charge("heavy", 1e6)
+	a := qt(1, 0, time.Second, 1)
+	a.User = "heavy"
+	b := qt(2, time.Second, time.Second, 1)
+	b.User = "light"
+	pending := []*QueuedTask{a, b}
+	fs.Order(pending, 0)
+	if pending[0].User != "light" {
+		t.Error("fair share did not prioritize the light user")
+	}
+	if fs.Name() != "fairshare" {
+		t.Error("name")
+	}
+}
+
+func TestRandomOrderPermutes(t *testing.T) {
+	pending := make([]*QueuedTask, 20)
+	for i := range pending {
+		pending[i] = qt(workload.TaskID(i), 0, time.Second, 1)
+	}
+	RandomOrder{R: rand.New(rand.NewSource(1))}.Order(pending, 0)
+	changed := false
+	for i, p := range pending {
+		if p.Task.ID != workload.TaskID(i) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("random order left queue untouched (astronomically unlikely)")
+	}
+	// Nil RNG is inert.
+	RandomOrder{}.Order(pending, 0)
+}
+
+func machineWith(id int, free int, speed float64, accel string) *dcmodel.Machine {
+	return &dcmodel.Machine{
+		ID: dcmodel.MachineID(id),
+		Class: dcmodel.MachineClass{
+			Name: "m", Cores: free, MemoryMB: 1 << 20, Speed: speed,
+			MaxWatts: 100, Accelerator: accel,
+		},
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	m4 := machineWith(0, 4, 1.0, "")
+	m8 := machineWith(1, 8, 2.0, "")
+	m16 := machineWith(2, 16, 0.5, "")
+	machines := []*dcmodel.Machine{m4, m8, m16}
+	task := qt(1, 0, time.Second, 4)
+
+	if got := (FirstFit{}).Select(machines, task); got != m4 {
+		t.Errorf("firstfit=%v", got.ID)
+	}
+	if got := (BestFit{}).Select(machines, task); got != m4 {
+		t.Errorf("bestfit=%v", got.ID)
+	}
+	if got := (WorstFit{}).Select(machines, task); got != m16 {
+		t.Errorf("worstfit=%v", got.ID)
+	}
+	if got := (FastestFit{}).Select(machines, task); got != m8 {
+		t.Errorf("fastestfit=%v", got.ID)
+	}
+	if got := (RandomFit{R: rand.New(rand.NewSource(1))}).Select(machines, task); got == nil {
+		t.Error("randomfit returned nil with candidates available")
+	}
+
+	big := qt(2, 0, time.Second, 99)
+	for _, p := range []PlacementPolicy{FirstFit{}, BestFit{}, WorstFit{}, FastestFit{}, RandomFit{}} {
+		if got := p.Select(machines, big); got != nil {
+			t.Errorf("%s placed an unfittable task", p.Name())
+		}
+	}
+}
+
+func TestPlacementHonorsAccelerator(t *testing.T) {
+	cpu := machineWith(0, 16, 1.0, "")
+	gpu := machineWith(1, 16, 1.0, "gpu")
+	machines := []*dcmodel.Machine{cpu, gpu}
+	task := qt(1, 0, time.Second, 1)
+	task.RequireAccelerator = "gpu"
+	for _, p := range []PlacementPolicy{FirstFit{}, BestFit{}, WorstFit{}, FastestFit{}} {
+		if got := p.Select(machines, task); got != gpu {
+			t.Errorf("%s ignored accelerator constraint", p.Name())
+		}
+	}
+}
+
+func TestConfigNamed(t *testing.T) {
+	c := Config{Queue: SJF{}, Placement: BestFit{}, Mode: EASY}
+	if got := c.Named(); got != "sjf/bestfit/easy-backfill" {
+		t.Errorf("Named=%q", got)
+	}
+	if (Config{}).Named() == "" {
+		t.Error("zero config must still name itself")
+	}
+	for _, m := range []QueueMode{Strict, EASY, Greedy, QueueMode(99)} {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+}
+
+func batchTasks(runtimes ...time.Duration) []workload.Task {
+	out := make([]workload.Task, len(runtimes))
+	for i, rt := range runtimes {
+		out[i] = workload.Task{ID: workload.TaskID(i + 1), Cores: 1, MemoryMB: 1, Runtime: rt}
+	}
+	return out
+}
+
+func TestMapBatchMinMinCompletesAllTasks(t *testing.T) {
+	tasks := batchTasks(10*time.Second, 20*time.Second, 30*time.Second, 40*time.Second)
+	machines := []*dcmodel.Machine{machineWith(0, 1, 1, ""), machineWith(1, 1, 1, "")}
+	for _, h := range []BatchHeuristic{MinMin, MaxMin, Sufferage} {
+		asg, makespan := MapBatch(tasks, machines, h)
+		if len(asg) != len(tasks) {
+			t.Fatalf("%v: assigned %d of %d", h, len(asg), len(tasks))
+		}
+		if makespan <= 0 {
+			t.Fatalf("%v: makespan=%v", h, makespan)
+		}
+		lb := MakespanLowerBound(tasks, machines)
+		if makespan < lb {
+			t.Fatalf("%v: makespan %v below lower bound %v", h, makespan, lb)
+		}
+		// For this instance optimal is 50s; heuristics should stay ≤ 2×LB.
+		if makespan > 2*lb {
+			t.Errorf("%v: makespan %v more than 2× lower bound %v", h, makespan, lb)
+		}
+		if h.String() == "" {
+			t.Error("heuristic name empty")
+		}
+	}
+}
+
+func TestMapBatchHeterogeneousPrefersFastMachines(t *testing.T) {
+	tasks := batchTasks(100*time.Second, 100*time.Second, 100*time.Second, 100*time.Second)
+	fast := machineWith(0, 1, 4.0, "")
+	slow := machineWith(1, 1, 1.0, "")
+	asg, _ := MapBatch(tasks, []*dcmodel.Machine{fast, slow}, MinMin)
+	fastCount := 0
+	for _, a := range asg {
+		if a.Machine == fast.ID {
+			fastCount++
+		}
+	}
+	if fastCount < 3 {
+		t.Errorf("min-min sent only %d of 4 tasks to the 4x machine", fastCount)
+	}
+}
+
+func TestMapBatchEmpty(t *testing.T) {
+	if asg, ms := MapBatch(nil, nil, MinMin); asg != nil || ms != 0 {
+		t.Error("empty batch must be a no-op")
+	}
+	if MakespanLowerBound(nil, nil) != 0 {
+		t.Error("empty lower bound must be 0")
+	}
+}

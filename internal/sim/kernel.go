@@ -1,0 +1,241 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// every simulated ecosystem in this repository: a virtual clock, an event
+// queue with deterministic ordering, and a seeded random source.
+//
+// The kernel is strictly single-threaded and deterministic: two runs with the
+// same seed and the same schedule of events produce byte-identical traces.
+// Determinism is an MCS methodological requirement (paper §5.3, C15–C16:
+// reproducible simulation-based experimentation).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. It reuses time.Duration so that callers can express
+// instants and intervals with the standard time units.
+type Time = time.Duration
+
+// Handler is a callback invoked when an event fires. The kernel passes the
+// current virtual time, which equals the time the event was scheduled for.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence in virtual time. Events are created through
+// Kernel.Schedule and friends and can be canceled until they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	canceled bool
+	fn       Handler
+	label    string
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the optional debugging label attached to the event.
+func (e *Event) Label() string { return e.label }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// ErrPastEvent is returned when scheduling an event before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Kernel is a discrete-event simulation executor. The zero value is not
+// usable; construct one with New.
+type Kernel struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+	maxEvents uint64 // safety valve; 0 means unlimited
+}
+
+// New returns a kernel whose random source is seeded with seed. The same seed
+// yields the same random stream and, therefore, the same simulation outcome
+// for deterministic models.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. Models must draw all
+// randomness from this source to preserve reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events that have not yet been discarded).
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// SetMaxEvents installs a safety limit on the total number of events the
+// kernel will execute; Run returns once the limit is reached. Zero disables
+// the limit.
+func (k *Kernel) SetMaxEvents(n uint64) { k.maxEvents = n }
+
+// Schedule arranges for fn to run after delay. A negative delay is an error.
+func (k *Kernel) Schedule(delay Time, fn Handler) (*Event, error) {
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Events
+// scheduled for the same instant fire in scheduling order (FIFO).
+func (k *Kernel) ScheduleAt(at Time, fn Handler) (*Event, error) {
+	if at < k.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
+	}
+	k.seq++
+	ev := &Event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, ev)
+	return ev, nil
+}
+
+// ScheduleLabeled is ScheduleAt with a debugging label attached to the event.
+func (k *Kernel) ScheduleLabeled(at Time, label string, fn Handler) (*Event, error) {
+	ev, err := k.ScheduleAt(at, fn)
+	if err != nil {
+		return nil, err
+	}
+	ev.label = label
+	return ev, nil
+}
+
+// MustSchedule is Schedule for callers that know delay is non-negative; it
+// panics on programmer error instead of returning one.
+func (k *Kernel) MustSchedule(delay Time, fn Handler) *Event {
+	ev, err := k.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (k *Kernel) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil // release references early
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		ev, ok := heap.Pop(&k.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.processed++
+		fn := ev.fn
+		ev.fn = nil
+		fn(k.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains (or the safety limit trips) and
+// returns the number of events processed during this call.
+func (k *Kernel) Run() uint64 {
+	start := k.processed
+	for {
+		if k.maxEvents > 0 && k.processed >= k.maxEvents {
+			break
+		}
+		if !k.Step() {
+			break
+		}
+	}
+	return k.processed - start
+}
+
+// RunUntil executes events with time ≤ horizon and then advances the clock to
+// horizon. Events scheduled after horizon remain queued. It returns the
+// number of events processed during this call.
+func (k *Kernel) RunUntil(horizon Time) uint64 {
+	start := k.processed
+	for {
+		if k.maxEvents > 0 && k.processed >= k.maxEvents {
+			break
+		}
+		next, ok := k.peek()
+		if !ok || next > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return k.processed - start
+}
+
+// peek returns the time of the next non-canceled event.
+func (k *Kernel) peek() (Time, bool) {
+	for k.queue.Len() > 0 {
+		ev := k.queue[0]
+		if !ev.canceled {
+			return ev.at, true
+		}
+		heap.Pop(&k.queue)
+	}
+	return 0, false
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number), which makes
+// simultaneous events fire in FIFO order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []Time
+	for _, d := range []Time{5 * time.Second, time.Second, 3 * time.Second} {
+		if _, err := k.Schedule(d, func(now Time) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	want := []Time{time.Second, 3 * time.Second, 5 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelFIFOAmongSimultaneousEvents(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.MustSchedule(time.Second, func(Time) { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestKernelRejectsPastEvents(t *testing.T) {
+	k := New(1)
+	k.MustSchedule(time.Second, func(Time) {})
+	k.Run()
+	if _, err := k.ScheduleAt(0, func(Time) {}); err == nil {
+		t.Fatal("expected error scheduling event in the past")
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	ev := k.MustSchedule(time.Second, func(Time) { fired = true })
+	k.Cancel(ev)
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("event not marked canceled")
+	}
+	k.Cancel(ev) // double-cancel is a no-op
+}
+
+func TestKernelRunUntilAdvancesClock(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.MustSchedule(time.Second, func(Time) { fired++ })
+	k.MustSchedule(10*time.Second, func(Time) { fired++ })
+	n := k.RunUntil(5 * time.Second)
+	if n != 1 || fired != 1 {
+		t.Fatalf("RunUntil processed %d events (fired=%d), want 1", n, fired)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("clock at %v, want 5s", k.Now())
+	}
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("remaining event did not fire, fired=%d", fired)
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := New(1)
+	var trace []Time
+	k.MustSchedule(time.Second, func(now Time) {
+		trace = append(trace, now)
+		k.MustSchedule(2*time.Second, func(now Time) {
+			trace = append(trace, now)
+		})
+	})
+	k.Run()
+	if len(trace) != 2 || trace[1] != 3*time.Second {
+		t.Fatalf("nested event trace = %v", trace)
+	}
+}
+
+func TestKernelMaxEventsStopsRunawayModel(t *testing.T) {
+	k := New(1)
+	k.SetMaxEvents(100)
+	var self func(now Time)
+	self = func(Time) { k.MustSchedule(time.Millisecond, self) }
+	k.MustSchedule(0, self)
+	k.Run()
+	if k.Processed() != 100 {
+		t.Fatalf("processed %d events, want 100", k.Processed())
+	}
+}
+
+// TestKernelDeterminism verifies the reproducibility invariant: two kernels
+// with the same seed and same model produce identical event traces.
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		k := New(seed)
+		var trace []Time
+		var step func(now Time)
+		step = func(now Time) {
+			trace = append(trace, now)
+			if len(trace) < 1000 {
+				delay := Time(k.Rand().Intn(1000)+1) * time.Millisecond
+				k.MustSchedule(delay, step)
+			}
+		}
+		k.MustSchedule(0, step)
+		k.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	c := run(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces; RNG is not wired in")
+	}
+}
+
+// Property: dequeue order is non-decreasing in time for arbitrary schedules.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delaysMS []uint16) bool {
+		k := New(7)
+		var times []Time
+		for _, d := range delaysMS {
+			k.MustSchedule(Time(d)*time.Millisecond, func(now Time) {
+				times = append(times, now)
+			})
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delaysMS)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := New(1)
+	var ticks []Time
+	tk := NewTicker(k, time.Second, func(now Time) {
+		ticks = append(ticks, now)
+	})
+	k.MustSchedule(3500*time.Millisecond, func(Time) { tk.Stop() })
+	k.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, tick := range ticks {
+		if want := Time(i+1) * time.Second; tick != want {
+			t.Errorf("tick %d at %v, want %v", i, tick, want)
+		}
+	}
+}
+
+func TestTickerZeroPeriodIsInert(t *testing.T) {
+	k := New(1)
+	tk := NewTicker(k, 0, func(Time) { t.Error("tick fired") })
+	tk.Stop()
+	k.Run()
+}
+
+func TestTimerResetSupersedesPending(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	tm := NewTimer(k, func(now Time) { fired = append(fired, now) })
+	tm.Reset(time.Second)
+	k.MustSchedule(500*time.Millisecond, func(Time) { tm.Reset(2 * time.Second) })
+	k.Run()
+	if len(fired) != 1 || fired[0] != 2500*time.Millisecond {
+		t.Fatalf("timer fired at %v, want [2.5s]", fired)
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, 2)
+	var order []int
+	hold := func(id int, dur Time) func(Time) {
+		return func(Time) {
+			order = append(order, id)
+			k.MustSchedule(dur, func(Time) { r.Release() })
+		}
+	}
+	for i := 0; i < 4; i++ {
+		r.Acquire(hold(i, time.Second))
+	}
+	k.Run()
+	if len(order) != 4 {
+		t.Fatalf("served %d acquirers, want 4", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource served out of FIFO order: %v", order)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Errorf("resource leaked %d units", r.InUse())
+	}
+}
+
+func TestResourceSetCapacityWakesWaiters(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, 1)
+	granted := 0
+	for i := 0; i < 3; i++ {
+		r.Acquire(func(Time) { granted++ })
+	}
+	k.Run()
+	if granted != 1 {
+		t.Fatalf("granted=%d, want 1 before growth", granted)
+	}
+	r.SetCapacity(3)
+	k.Run()
+	if granted != 3 {
+		t.Fatalf("granted=%d, want 3 after growth", granted)
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	k := New(1)
+	noop := func(Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MustSchedule(Time(i%1000)*time.Microsecond, noop)
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func TestScheduleLabeled(t *testing.T) {
+	k := New(1)
+	ev, err := k.ScheduleLabeled(time.Second, "job-arrival", func(Time) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Label() != "job-arrival" || ev.At() != time.Second {
+		t.Errorf("label=%q at=%v", ev.Label(), ev.At())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending=%d", k.Pending())
+	}
+	if _, err := k.ScheduleLabeled(-time.Second+k.Now(), "past", func(Time) {}); err == nil {
+		t.Error("past labeled event accepted")
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Errorf("pending after drain=%d", k.Pending())
+	}
+}
+
+func TestScheduleNegativeDelayRejected(t *testing.T) {
+	k := New(1)
+	k.MustSchedule(time.Second, func(Time) {})
+	k.Run()
+	if _, err := k.Schedule(-time.Second, func(Time) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+// This file provides higher-level building blocks on top of the raw event
+// kernel: periodic tickers, resettable timers, and simple FIFO resources.
+// They cover the recurring patterns in the ecosystem models (monitoring
+// loops, idle timeouts, single-server queues) without each model re-deriving
+// them.
+
+// Ticker invokes a handler at a fixed period until stopped. It is the
+// simulated analogue of time.Ticker and drives monitoring and control loops
+// (paper P4: self-awareness needs periodic sensing).
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      Handler
+	next    *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker with the given period; the first tick fires one
+// period from now. The period must be positive.
+func NewTicker(k *Kernel, period Time, fn Handler) *Ticker {
+	t := &Ticker{k: k, period: period, fn: fn}
+	if period <= 0 {
+		t.stopped = true
+		return t
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.k.MustSchedule(t.period, func(now Time) {
+		if t.stopped {
+			return
+		}
+		t.fn(now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker; no further ticks fire.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.k.Cancel(t.next)
+}
+
+// Timer is a single-shot, resettable timeout. It backs idle-timeout logic
+// such as FaaS instance reaping.
+type Timer struct {
+	k  *Kernel
+	ev *Event
+	fn Handler
+}
+
+// NewTimer returns an unarmed timer that will run fn when it fires.
+func NewTimer(k *Kernel, fn Handler) *Timer {
+	return &Timer{k: k, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, canceling any pending firing.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	t.ev = t.k.MustSchedule(delay, t.fn)
+}
+
+// Stop disarms the timer if it is armed.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.k.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Resource is a counted resource with a FIFO wait queue: the discrete-event
+// analogue of a semaphore. Acquire either grants a unit immediately or queues
+// the waiter; Release hands freed units to the head of the queue.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []func(now Time)
+}
+
+// NewResource returns a resource with the given capacity (units).
+func NewResource(k *Kernel, capacity int) *Resource {
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiters queued for a unit.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire requests one unit. The granted callback runs (as a scheduled event
+// at the current time, preserving run-to-completion semantics) once a unit is
+// available.
+func (r *Resource) Acquire(granted func(now Time)) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.k.MustSchedule(0, granted)
+		return
+	}
+	r.waiters = append(r.waiters, granted)
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.k.MustSchedule(0, next)
+		return
+	}
+	if r.inUse > 0 {
+		r.inUse--
+	}
+}
+
+// SetCapacity grows or shrinks the resource. Growing wakes as many waiters as
+// new units allow; shrinking takes effect lazily as units are released.
+func (r *Resource) SetCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	r.capacity = capacity
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++
+		r.k.MustSchedule(0, next)
+	}
+}

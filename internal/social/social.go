@@ -1,0 +1,297 @@
+// Package social implements the implicit-social-network analyses of paper
+// C5 ("socially aware systems"): extracting interaction graphs from
+// workload and activity traces, measuring tie strength, identifying dominant
+// users ([107]) and job groupings ([108]), and detecting communities — the
+// signals that "new workload patterns do emerge from implicit social
+// interaction and can be leveraged."
+package social
+
+import (
+	"sort"
+	"time"
+
+	"mcs/internal/workload"
+)
+
+// InteractionGraph is an undirected weighted graph over string-keyed actors
+// (users, players). Edge weight counts interactions (the implicit ties of
+// refs [82], [102]).
+type InteractionGraph struct {
+	weights map[[2]string]float64
+	actors  map[string]bool
+	degree  map[string]float64
+}
+
+// NewInteractionGraph returns an empty graph.
+func NewInteractionGraph() *InteractionGraph {
+	return &InteractionGraph{
+		weights: make(map[[2]string]float64),
+		actors:  make(map[string]bool),
+		degree:  make(map[string]float64),
+	}
+}
+
+func edgeKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// AddInteraction records weight w of interaction between a and b (self
+// interactions are ignored).
+func (g *InteractionGraph) AddInteraction(a, b string, w float64) {
+	g.actors[a] = true
+	g.actors[b] = true
+	if a == b || w <= 0 {
+		return
+	}
+	g.weights[edgeKey(a, b)] += w
+	g.degree[a] += w
+	g.degree[b] += w
+}
+
+// AddActor registers an actor without interactions.
+func (g *InteractionGraph) AddActor(a string) { g.actors[a] = true }
+
+// TieStrength returns the accumulated interaction weight between a and b.
+func (g *InteractionGraph) TieStrength(a, b string) float64 {
+	return g.weights[edgeKey(a, b)]
+}
+
+// Actors returns all actors in sorted order.
+func (g *InteractionGraph) Actors() []string {
+	out := make([]string, 0, len(g.actors))
+	for a := range g.actors {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEdges returns the number of distinct ties.
+func (g *InteractionGraph) NumEdges() int { return len(g.weights) }
+
+// Degree returns the weighted degree of an actor.
+func (g *InteractionGraph) Degree(a string) float64 { return g.degree[a] }
+
+// Neighbors returns the actors tied to a, sorted by descending tie strength.
+func (g *InteractionGraph) Neighbors(a string) []string {
+	type nb struct {
+		name string
+		w    float64
+	}
+	var nbs []nb
+	for k, w := range g.weights {
+		switch a {
+		case k[0]:
+			nbs = append(nbs, nb{k[1], w})
+		case k[1]:
+			nbs = append(nbs, nb{k[0], w})
+		}
+	}
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].w != nbs[j].w {
+			return nbs[i].w > nbs[j].w
+		}
+		return nbs[i].name < nbs[j].name
+	})
+	out := make([]string, len(nbs))
+	for i, n := range nbs {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Communities clusters actors by synchronous label propagation (the
+// community structure behind "strong social relationships (ties) between
+// users", ref [48]). It returns a map actor → community label, where the
+// label is the lexicographically smallest member.
+func (g *InteractionGraph) Communities(iterations int) map[string]string {
+	label := make(map[string]string, len(g.actors))
+	for a := range g.actors {
+		label[a] = a
+	}
+	actors := g.Actors()
+	for it := 0; it < iterations; it++ {
+		next := make(map[string]string, len(label))
+		changed := false
+		for _, a := range actors {
+			// Weighted vote among neighbor labels, ties to smallest label.
+			votes := make(map[string]float64)
+			for k, w := range g.weights {
+				var other string
+				switch a {
+				case k[0]:
+					other = k[1]
+				case k[1]:
+					other = k[0]
+				default:
+					continue
+				}
+				votes[label[other]] += w
+			}
+			best, bestW := label[a], 0.0
+			for l, w := range votes {
+				if w > bestW || (w == bestW && l < best) {
+					best, bestW = l, w
+				}
+			}
+			next[a] = best
+			if best != label[a] {
+				changed = true
+			}
+		}
+		label = next
+		if !changed {
+			break
+		}
+	}
+	return label
+}
+
+// FromWorkload builds the implicit interaction graph of a workload: users
+// whose jobs overlap within the window interact with weight 1 per
+// co-occurrence — the implicit-tie construction of refs [105], [108].
+func FromWorkload(w *workload.Workload, window time.Duration) *InteractionGraph {
+	g := NewInteractionGraph()
+	for i := range w.Jobs {
+		g.AddActor(w.Jobs[i].User)
+		for j := i + 1; j < len(w.Jobs); j++ {
+			if w.Jobs[j].Submit-w.Jobs[i].Submit > window {
+				break
+			}
+			if w.Jobs[i].User != w.Jobs[j].User {
+				g.AddInteraction(w.Jobs[i].User, w.Jobs[j].User, 1)
+			}
+		}
+	}
+	return g
+}
+
+// DominantUsers returns the smallest set of users accounting for at least
+// share (0..1] of the jobs, most active first — the dominant-user analysis
+// of [107] ("How are Real Grids Used?").
+func DominantUsers(w *workload.Workload, share float64) []string {
+	counts := make(map[string]int)
+	for i := range w.Jobs {
+		counts[w.Jobs[i].User]++
+	}
+	type uc struct {
+		user string
+		n    int
+	}
+	ucs := make([]uc, 0, len(counts))
+	for u, n := range counts {
+		ucs = append(ucs, uc{u, n})
+	}
+	sort.Slice(ucs, func(i, j int) bool {
+		if ucs[i].n != ucs[j].n {
+			return ucs[i].n > ucs[j].n
+		}
+		return ucs[i].user < ucs[j].user
+	})
+	target := share * float64(len(w.Jobs))
+	var out []string
+	cum := 0
+	for _, u := range ucs {
+		if float64(cum) >= target {
+			break
+		}
+		out = append(out, u.user)
+		cum += u.n
+	}
+	return out
+}
+
+// Grouping is a batch of jobs submitted by one user in quick succession —
+// the "groups of jobs" of [108] whose presence predicts near-future load.
+type Grouping struct {
+	User  string
+	Jobs  []workload.JobID
+	Start time.Duration
+	End   time.Duration
+}
+
+// JobGroupings splits each user's submissions into batches separated by
+// gaps larger than gap.
+func JobGroupings(w *workload.Workload, gap time.Duration) []Grouping {
+	type entry struct {
+		id workload.JobID
+		at time.Duration
+	}
+	byUser := make(map[string][]entry)
+	var users []string
+	for i := range w.Jobs {
+		u := w.Jobs[i].User
+		if _, ok := byUser[u]; !ok {
+			users = append(users, u)
+		}
+		byUser[u] = append(byUser[u], entry{w.Jobs[i].ID, w.Jobs[i].Submit})
+	}
+	sort.Strings(users)
+	var out []Grouping
+	for _, u := range users {
+		entries := byUser[u]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].at < entries[j].at })
+		cur := Grouping{User: u}
+		for _, e := range entries {
+			if len(cur.Jobs) > 0 && e.at-cur.End > gap {
+				out = append(out, cur)
+				cur = Grouping{User: u}
+			}
+			if len(cur.Jobs) == 0 {
+				cur.Start = e.at
+			}
+			cur.Jobs = append(cur.Jobs, e.id)
+			cur.End = e.at
+		}
+		if len(cur.Jobs) > 0 {
+			out = append(out, cur)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// GroupPredictor predicts near-future submissions from open groupings: once
+// a user submits the first jobs of a batch, the predictor expects the batch
+// to continue at the user's historical batch size — the load signal the
+// paper says social awareness unlocks (D5).
+type GroupPredictor struct {
+	meanBatch map[string]float64
+}
+
+// NewGroupPredictor learns per-user mean batch sizes from history.
+func NewGroupPredictor(history []Grouping) *GroupPredictor {
+	sum := make(map[string]float64)
+	n := make(map[string]float64)
+	for _, g := range history {
+		sum[g.User] += float64(len(g.Jobs))
+		n[g.User]++
+	}
+	mean := make(map[string]float64, len(sum))
+	for u := range sum {
+		mean[u] = sum[u] / n[u]
+	}
+	return &GroupPredictor{meanBatch: mean}
+}
+
+// ExpectedRemaining predicts how many more jobs user will submit given
+// seenInBatch jobs of the current batch have arrived.
+func (p *GroupPredictor) ExpectedRemaining(user string, seenInBatch int) float64 {
+	mean, ok := p.meanBatch[user]
+	if !ok {
+		return 0
+	}
+	rest := mean - float64(seenInBatch)
+	if rest < 0 {
+		return 0
+	}
+	return rest
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a continuous probability distribution that can be sampled with an
+// explicit random source. All stochastic model inputs in the toolkit
+// (inter-arrival times, task runtimes, failure inter-arrivals, repair times)
+// are expressed as Dist values so experiments can swap distributions without
+// touching model code.
+type Dist interface {
+	// Sample draws one variate using r.
+	Sample(r *rand.Rand) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// String names the distribution with its parameters.
+	String() string
+}
+
+// Deterministic always returns Value. Useful for controlled experiments.
+type Deterministic struct{ Value float64 }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("det(%g)", d.Value) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Exponential has rate Rate (mean 1/Rate). It models memoryless arrivals
+// (Poisson processes).
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Rate }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(rate=%g)", e.Rate) }
+
+// Normal is the Gaussian distribution, truncated at zero when sampled via
+// SamplePositive by models that need non-negative variates.
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(r *rand.Rand) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mu, n.Sigma) }
+
+// LogNormal has underlying normal parameters Mu and Sigma. The Grid Workloads
+// Archive analyses the paper cites ([39]) model task runtimes as lognormal.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) String() string { return fmt.Sprintf("lognormal(%g,%g)", l.Mu, l.Sigma) }
+
+// Weibull has shape K and scale Lambda. With K<1 it produces the bursty,
+// decreasing-hazard inter-arrival times observed for failures in large-scale
+// distributed systems (paper refs [26], [27]).
+type Weibull struct{ K, Lambda float64 }
+
+// Sample implements Dist (inverse-CDF method).
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+// Mean implements Dist.
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+func (w Weibull) String() string { return fmt.Sprintf("weibull(k=%g,λ=%g)", w.K, w.Lambda) }
+
+// Pareto is the heavy-tailed Pareto distribution with minimum Xm and tail
+// index Alpha. Heavy tails drive the "vicissitude" phenomena the paper
+// describes for big-data workloads (§2.1, ref [22]).
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Dist (inverse-CDF method).
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist (infinite for Alpha ≤ 1).
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,α=%g)", p.Xm, p.Alpha) }
+
+// Erlang is the sum of K independent exponentials with the given Rate each;
+// it models multi-stage service times.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// Sample implements Dist.
+func (e Erlang) Sample(r *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < e.K; i++ {
+		sum += r.ExpFloat64() / e.Rate
+	}
+	return sum
+}
+
+// Mean implements Dist.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+func (e Erlang) String() string { return fmt.Sprintf("erlang(k=%d,rate=%g)", e.K, e.Rate) }
+
+// Zipf samples integers in [1, N] with frequency ∝ rank^-S, returned as
+// float64. It models popularity skew (content, users, functions).
+type Zipf struct {
+	S float64 // exponent > 1 for the stdlib generator; values ≤ 1 are clamped
+	N uint64
+}
+
+// Sample implements Dist.
+func (z Zipf) Sample(r *rand.Rand) float64 {
+	s := z.S
+	if s <= 1 {
+		s = 1.0001
+	}
+	n := z.N
+	if n == 0 {
+		n = 1
+	}
+	gen := rand.NewZipf(r, s, 1, n-1)
+	return float64(gen.Uint64() + 1)
+}
+
+// Mean implements Dist (approximated numerically).
+func (z Zipf) Mean() float64 {
+	var num, den float64
+	for k := uint64(1); k <= z.N; k++ {
+		w := math.Pow(float64(k), -z.S)
+		num += float64(k) * w
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func (z Zipf) String() string { return fmt.Sprintf("zipf(s=%g,n=%d)", z.S, z.N) }
+
+// Truncate wraps a distribution, clamping samples into [Lo, Hi]. Use it to
+// keep runtimes and sizes physical.
+type Truncate struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (t Truncate) Sample(r *rand.Rand) float64 {
+	x := t.D.Sample(r)
+	if x < t.Lo {
+		return t.Lo
+	}
+	if t.Hi > t.Lo && x > t.Hi {
+		return t.Hi
+	}
+	return x
+}
+
+// Mean implements Dist; it reports the untruncated mean clamped to the range
+// as a cheap approximation.
+func (t Truncate) Mean() float64 {
+	m := t.D.Mean()
+	if m < t.Lo {
+		return t.Lo
+	}
+	if t.Hi > t.Lo && m > t.Hi {
+		return t.Hi
+	}
+	return m
+}
+
+func (t Truncate) String() string { return fmt.Sprintf("trunc(%v,[%g,%g])", t.D, t.Lo, t.Hi) }
+
+// Compile-time interface compliance checks.
+var (
+	_ Dist = Deterministic{}
+	_ Dist = Uniform{}
+	_ Dist = Exponential{}
+	_ Dist = Normal{}
+	_ Dist = LogNormal{}
+	_ Dist = Weibull{}
+	_ Dist = Pareto{}
+	_ Dist = Erlang{}
+	_ Dist = Zipf{}
+	_ Dist = Truncate{}
+)

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func samples(d Dist, n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func TestKSTestAcceptsSameDistribution(t *testing.T) {
+	xs := samples(Exponential{Rate: 1}, 2000, 1)
+	ys := samples(Exponential{Rate: 1}, 2000, 2)
+	res := KSTest(xs, ys)
+	if res.Reject(0.01) {
+		t.Errorf("same distribution rejected: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestKSTestRejectsDifferentDistributions(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Dist
+	}{
+		{"exp-vs-weibull", Exponential{Rate: 1}, Weibull{K: 0.5, Lambda: 1}},
+		{"normal-shift", Normal{Mu: 0, Sigma: 1}, Normal{Mu: 0.5, Sigma: 1}},
+		{"uniform-vs-pareto", Uniform{Lo: 0, Hi: 2}, Pareto{Xm: 0.5, Alpha: 2}},
+	}
+	for _, c := range cases {
+		xs := samples(c.a, 2000, 3)
+		ys := samples(c.b, 2000, 4)
+		res := KSTest(xs, ys)
+		if !res.Reject(0.01) {
+			t.Errorf("%s: not rejected (D=%v p=%v)", c.name, res.D, res.PValue)
+		}
+	}
+}
+
+func TestKSTestValidatesWorkloadGenerators(t *testing.T) {
+	// The C16 use: a generator configured with lognormal runtimes must
+	// produce samples indistinguishable from that lognormal.
+	want := LogNormal{Mu: 4.5, Sigma: 1.0}
+	got := samples(want, 3000, 5)
+	ref := samples(LogNormal{Mu: 4.5, Sigma: 1.0}, 3000, 6)
+	if res := KSTest(got, ref); res.Reject(0.01) {
+		t.Errorf("generator drifted from its configured distribution: %+v", res)
+	}
+	// And a mis-configured generator is caught.
+	bad := samples(LogNormal{Mu: 5.0, Sigma: 1.0}, 3000, 7)
+	if res := KSTest(bad, ref); !res.Reject(0.01) {
+		t.Errorf("mis-configured generator not caught: %+v", res)
+	}
+}
+
+func TestKSTestDegenerateInputs(t *testing.T) {
+	if res := KSTest(nil, []float64{1}); res.D != 0 || res.PValue != 1 {
+		t.Errorf("empty input: %+v", res)
+	}
+	res := KSTest([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if res.D != 0 {
+		t.Errorf("identical samples D=%v", res.D)
+	}
+	// Disjoint supports: D = 1, p ≈ 0.
+	res = KSTest([]float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{100, 101, 102, 103, 104, 105, 106, 107})
+	if res.D != 1 {
+		t.Errorf("disjoint supports D=%v, want 1", res.D)
+	}
+	if !res.Reject(0.05) {
+		t.Errorf("disjoint supports not rejected: p=%v", res.PValue)
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	last := 1.0
+	for _, lambda := range []float64{0, 0.3, 0.6, 1.0, 1.5, 2.0} {
+		p := ksPValue(lambda)
+		if p > last+1e-12 {
+			t.Errorf("p-value not monotone at λ=%v: %v > %v", lambda, p, last)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("p-value %v out of [0,1]", p)
+		}
+		last = p
+	}
+}

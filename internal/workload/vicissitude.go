@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"time"
+
+	"mcs/internal/stats"
+)
+
+// This file quantifies vicissitude — the paper's term (ref [22], §2.1, C3)
+// for "the presence of workflows of tasks that are arbitrarily compute- and
+// data-intensive" whose challenges "become more prominent at seemingly
+// arbitrary moments of time". Operationally: how much the workload's
+// character drifts between adjacent time windows, measured as the mean
+// two-sample KS distance over per-window task-runtime and job-size
+// distributions.
+
+// Vicissitude summarizes workload drift over time.
+type Vicissitude struct {
+	// Windows is the number of analysis windows compared.
+	Windows int
+	// RuntimeDrift is the mean KS distance between adjacent windows'
+	// task-runtime distributions, in [0, 1].
+	RuntimeDrift float64
+	// SizeDrift is the same for job sizes (tasks per job).
+	SizeDrift float64
+	// MaxDrift is the largest adjacent-window KS distance observed on
+	// either dimension (the "arbitrary moment" spike).
+	MaxDrift float64
+}
+
+// Index returns the combined vicissitude index: the mean of the two drift
+// dimensions, in [0, 1]. Stationary workloads score near 0.
+func (v Vicissitude) Index() float64 {
+	return (v.RuntimeDrift + v.SizeDrift) / 2
+}
+
+// MeasureVicissitude splits the workload into windows of the given span and
+// measures distribution drift between adjacent windows. Windows with fewer
+// than 5 jobs are merged forward; fewer than two usable windows yields the
+// zero value.
+func MeasureVicissitude(w *Workload, window time.Duration) Vicissitude {
+	if window <= 0 || len(w.Jobs) == 0 {
+		return Vicissitude{}
+	}
+	type bucket struct {
+		runtimes []float64
+		sizes    []float64
+	}
+	var buckets []bucket
+	start := w.Jobs[0].Submit
+	cur := bucket{}
+	boundary := start + window
+	flush := func() {
+		if len(cur.sizes) >= 5 {
+			buckets = append(buckets, cur)
+			cur = bucket{}
+		}
+		// Small windows keep accumulating into the next one.
+	}
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		for j.Submit >= boundary {
+			flush()
+			boundary += window
+		}
+		cur.sizes = append(cur.sizes, float64(len(j.Tasks)))
+		for _, t := range j.Tasks {
+			cur.runtimes = append(cur.runtimes, t.Runtime.Seconds())
+		}
+	}
+	flush()
+	if len(buckets) < 2 {
+		return Vicissitude{}
+	}
+	v := Vicissitude{Windows: len(buckets)}
+	var rtSum, szSum float64
+	for i := 1; i < len(buckets); i++ {
+		rt := stats.KSTest(buckets[i-1].runtimes, buckets[i].runtimes).D
+		sz := stats.KSTest(buckets[i-1].sizes, buckets[i].sizes).D
+		rtSum += rt
+		szSum += sz
+		if rt > v.MaxDrift {
+			v.MaxDrift = rt
+		}
+		if sz > v.MaxDrift {
+			v.MaxDrift = sz
+		}
+	}
+	n := float64(len(buckets) - 1)
+	v.RuntimeDrift = rtSum / n
+	v.SizeDrift = szSum / n
+	return v
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+// stationaryWorkload draws every window from the same distributions.
+func stationaryWorkload(t *testing.T) *Workload {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	w, err := Generate(GeneratorConfig{
+		Jobs:    400,
+		Arrival: Poisson{RatePerHour: 240},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// shiftingWorkload switches regime halfway: short small jobs, then long
+// wide jobs — the paper's "challenges become prominent at arbitrary
+// moments".
+func shiftingWorkload(t *testing.T) *Workload {
+	t.Helper()
+	r := rand.New(rand.NewSource(2))
+	a, err := Generate(GeneratorConfig{
+		Jobs:           200,
+		Arrival:        Poisson{RatePerHour: 240},
+		RuntimeSeconds: stats.Truncate{D: stats.LogNormal{Mu: 3, Sigma: 0.3}, Lo: 5, Hi: 120},
+		TasksPerJob:    stats.Uniform{Lo: 1, Hi: 4},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GeneratorConfig{
+		Jobs:           200,
+		Arrival:        Poisson{RatePerHour: 240},
+		RuntimeSeconds: stats.Truncate{D: stats.LogNormal{Mu: 6.5, Sigma: 0.3}, Lo: 300, Hi: 7200},
+		TasksPerJob:    stats.Uniform{Lo: 16, Hi: 48},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := a.Jobs[len(a.Jobs)-1].Submit
+	var nextTask TaskID = 100000
+	for i := range b.Jobs {
+		b.Jobs[i].Submit += offset
+		b.Jobs[i].ID += 10000
+		for k := range b.Jobs[i].Tasks {
+			nextTask++
+			b.Jobs[i].Tasks[k].ID = nextTask
+			b.Jobs[i].Tasks[k].Job = b.Jobs[i].ID
+		}
+	}
+	return &Workload{Jobs: append(a.Jobs, b.Jobs...)}
+}
+
+func TestVicissitudeSeparatesStationaryFromShifting(t *testing.T) {
+	window := 15 * time.Minute
+	stat := MeasureVicissitude(stationaryWorkload(t), window)
+	shift := MeasureVicissitude(shiftingWorkload(t), window)
+	if stat.Windows < 2 || shift.Windows < 2 {
+		t.Fatalf("too few windows: %d/%d", stat.Windows, shift.Windows)
+	}
+	if shift.Index() <= stat.Index() {
+		t.Errorf("shifting index %v not above stationary %v", shift.Index(), stat.Index())
+	}
+	// The regime change shows as a large max drift.
+	if shift.MaxDrift < 0.8 {
+		t.Errorf("regime change max drift=%v, want near 1", shift.MaxDrift)
+	}
+	if stat.Index() < 0 || stat.Index() > 1 || shift.Index() > 1 {
+		t.Errorf("indices out of range: %v %v", stat.Index(), shift.Index())
+	}
+}
+
+func TestVicissitudeDegenerate(t *testing.T) {
+	if v := MeasureVicissitude(&Workload{}, time.Minute); v.Windows != 0 || v.Index() != 0 {
+		t.Errorf("empty workload: %+v", v)
+	}
+	w := stationaryWorkload(t)
+	if v := MeasureVicissitude(w, 0); v.Windows != 0 {
+		t.Errorf("zero window: %+v", v)
+	}
+	// A window larger than the span gives a single bucket → zero value.
+	if v := MeasureVicissitude(w, 1000*time.Hour); v.Windows != 0 {
+		t.Errorf("one-bucket workload: %+v", v)
+	}
+}

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/stats"
+)
+
+func chainJob(n int) Job {
+	j := Job{ID: 1, User: "u"}
+	var prev TaskID
+	for i := 1; i <= n; i++ {
+		t := Task{ID: TaskID(i), Job: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second}
+		if prev != 0 {
+			t.Deps = []TaskID{prev}
+		}
+		prev = t.ID
+		j.Tasks = append(j.Tasks, t)
+	}
+	return j
+}
+
+func TestJobLevelsChain(t *testing.T) {
+	j := chainJob(5)
+	levels := j.Levels()
+	if len(levels) != 5 {
+		t.Fatalf("chain of 5 has %d levels, want 5", len(levels))
+	}
+	for i, level := range levels {
+		if len(level) != 1 || level[0] != TaskID(i+1) {
+			t.Errorf("level %d = %v", i, level)
+		}
+	}
+	if j.MaxParallelism() != 1 {
+		t.Errorf("chain parallelism=%d, want 1", j.MaxParallelism())
+	}
+	if cp := j.CriticalPath(); cp != 5*time.Second {
+		t.Errorf("chain critical path=%v, want 5s", cp)
+	}
+}
+
+func TestJobLevelsForkJoin(t *testing.T) {
+	j := Job{ID: 1, Tasks: []Task{
+		{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second},
+		{ID: 2, Cores: 1, MemoryMB: 1, Runtime: 2 * time.Second, Deps: []TaskID{1}},
+		{ID: 3, Cores: 1, MemoryMB: 1, Runtime: 3 * time.Second, Deps: []TaskID{1}},
+		{ID: 4, Cores: 1, MemoryMB: 1, Runtime: time.Second, Deps: []TaskID{2, 3}},
+	}}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.MaxParallelism(); got != 2 {
+		t.Errorf("parallelism=%d, want 2", got)
+	}
+	// Critical path: 1 (1s) -> 3 (3s) -> 4 (1s) = 5s.
+	if cp := j.CriticalPath(); cp != 5*time.Second {
+		t.Errorf("critical path=%v, want 5s", cp)
+	}
+}
+
+func TestJobValidateRejectsCycle(t *testing.T) {
+	j := Job{ID: 1, Tasks: []Task{
+		{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second, Deps: []TaskID{2}},
+		{ID: 2, Cores: 1, MemoryMB: 1, Runtime: time.Second, Deps: []TaskID{1}},
+	}}
+	if err := j.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if j.Levels() != nil {
+		t.Error("Levels of cyclic job must be nil")
+	}
+	if j.CriticalPath() != 0 {
+		t.Error("CriticalPath of cyclic job must be 0")
+	}
+}
+
+func TestJobValidateRejectsBadFields(t *testing.T) {
+	cases := []Job{
+		{ID: 1, Tasks: []Task{{ID: 1, Cores: 1, MemoryMB: 1, Runtime: 0}}},
+		{ID: 1, Tasks: []Task{{ID: 1, Cores: 0, MemoryMB: 1, Runtime: time.Second}}},
+		{ID: 1, Tasks: []Task{
+			{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second},
+			{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second},
+		}},
+		{ID: 1, Tasks: []Task{{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second, Deps: []TaskID{9}}}},
+	}
+	for i, j := range cases {
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestTotalWorkWeightsCores(t *testing.T) {
+	j := Job{Tasks: []Task{
+		{ID: 1, Cores: 2, MemoryMB: 1, Runtime: 3 * time.Second},
+		{ID: 2, Cores: 1, MemoryMB: 1, Runtime: 4 * time.Second},
+	}}
+	if got := j.TotalWork(); got != 10*time.Second {
+		t.Errorf("TotalWork=%v, want 10s", got)
+	}
+}
+
+func TestPoissonArrivalMeanRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := Poisson{RatePerHour: 120} // mean gap 30s
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.Next(r)
+	}
+	mean := total / n
+	if mean < 27*time.Second || mean > 33*time.Second {
+		t.Errorf("mean inter-arrival %v, want ≈30s", mean)
+	}
+}
+
+func TestMMPP2IsBurstierThanPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := &MMPP2{
+		CalmRatePerHour:  10,
+		BurstRatePerHour: 600,
+		MeanCalm:         time.Hour,
+		MeanBurst:        10 * time.Minute,
+	}
+	p := Poisson{RatePerHour: 60}
+	gapsM := make([]time.Duration, 5000)
+	gapsP := make([]time.Duration, 5000)
+	for i := range gapsM {
+		gapsM[i] = m.Next(r)
+		gapsP[i] = p.Next(r)
+	}
+	bm, bp := BurstinessIndex(gapsM), BurstinessIndex(gapsP)
+	if bm <= bp {
+		t.Errorf("MMPP burstiness %v not greater than Poisson %v", bm, bp)
+	}
+	if bp < 0.8 || bp > 1.2 {
+		t.Errorf("Poisson burstiness %v, want ≈1", bp)
+	}
+}
+
+func TestDiurnalPeaksAtPeakHour(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := &Diurnal{BasePerHour: 100, Amplitude: 0.9, PeakHour: 14}
+	counts := make([]int, 24)
+	var clock time.Duration
+	for clock < 14*24*time.Hour {
+		gap := d.Next(r)
+		clock += gap
+		hour := int(clock.Hours()) % 24
+		counts[hour]++
+	}
+	peakBucket := (counts[13] + counts[14] + counts[15]) / 3
+	troughBucket := (counts[1] + counts[2] + counts[3]) / 3
+	if peakBucket <= troughBucket {
+		t.Errorf("peak-hour arrivals %d not above trough %d", peakBucket, troughBucket)
+	}
+}
+
+func TestFixedInterval(t *testing.T) {
+	f := FixedInterval{Interval: 7 * time.Second}
+	if f.Next(nil) != 7*time.Second {
+		t.Error("fixed interval wrong")
+	}
+}
+
+func TestGenerateDefaultsAreValid(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	w, err := Generate(GeneratorConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 100 {
+		t.Errorf("jobs=%d, want default 100", len(w.Jobs))
+	}
+	if w.TaskCount() < 100 {
+		t.Errorf("task count=%d suspiciously low", w.TaskCount())
+	}
+	if len(w.Users()) < 2 {
+		t.Errorf("users=%d, want several", len(w.Users()))
+	}
+	if w.Span() <= 0 {
+		t.Error("span must be positive")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, shape := range []Shape{BagOfTasks, Chain, ForkJoin, RandomDAG} {
+		r := rand.New(rand.NewSource(5))
+		w, err := Generate(GeneratorConfig{
+			Jobs:        20,
+			Shape:       shape,
+			TasksPerJob: stats.Uniform{Lo: 4, Hi: 12},
+		}, r)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		for i := range w.Jobs {
+			j := &w.Jobs[i]
+			par := j.MaxParallelism()
+			switch shape {
+			case Chain:
+				if par != 1 {
+					t.Errorf("chain job parallelism=%d", par)
+				}
+			case ForkJoin:
+				if len(j.Tasks) >= 3 && par != len(j.Tasks)-2 {
+					t.Errorf("fork-join parallelism=%d tasks=%d", par, len(j.Tasks))
+				}
+			case BagOfTasks:
+				if par != len(j.Tasks) {
+					t.Errorf("bag parallelism=%d tasks=%d", par, len(j.Tasks))
+				}
+			}
+		}
+		if shape.String() == "" {
+			t.Error("empty shape name")
+		}
+	}
+}
+
+func TestGenerateDeadlines(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	w, err := Generate(GeneratorConfig{Jobs: 10, DeadlineFactor: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.Deadline <= j.Submit {
+			t.Errorf("job %d deadline %v not after submit %v", j.ID, j.Deadline, j.Submit)
+		}
+	}
+}
+
+// Property: generated workloads are always valid and deterministic per seed.
+func TestGenerateProperty(t *testing.T) {
+	prop := func(seed int64, jobs uint8) bool {
+		n := int(jobs%50) + 1
+		gen := func() *Workload {
+			r := rand.New(rand.NewSource(seed))
+			w, err := Generate(GeneratorConfig{Jobs: n, Shape: RandomDAG}, r)
+			if err != nil {
+				return nil
+			}
+			return w
+		}
+		w1, w2 := gen(), gen()
+		if w1 == nil || w2 == nil {
+			return false
+		}
+		if w1.Validate() != nil {
+			return false
+		}
+		if len(w1.Jobs) != len(w2.Jobs) {
+			return false
+		}
+		for i := range w1.Jobs {
+			if w1.Jobs[i].Submit != w2.Jobs[i].Submit ||
+				len(w1.Jobs[i].Tasks) != len(w2.Jobs[i].Tasks) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadValidateOrdering(t *testing.T) {
+	w := Workload{Jobs: []Job{
+		{ID: 1, Submit: 10 * time.Second, Tasks: []Task{{ID: 1, Cores: 1, MemoryMB: 1, Runtime: time.Second}}},
+		{ID: 2, Submit: 5 * time.Second, Tasks: []Task{{ID: 2, Cores: 1, MemoryMB: 1, Runtime: time.Second}}},
+	}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("out-of-order submits accepted")
+	}
+}
+
+func BenchmarkGenerate1000Jobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(1))
+		if _, err := Generate(GeneratorConfig{Jobs: 1000}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEmpiricalArrivalPreservesDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	src, err := Generate(GeneratorConfig{
+		Jobs: 400,
+		Arrival: &MMPP2{
+			CalmRatePerHour: 20, BurstRatePerHour: 600,
+			MeanCalm: time.Hour, MeanBurst: 10 * time.Minute,
+		},
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := NewEmpirical(src)
+	if emp == nil {
+		t.Fatal("empirical process not built")
+	}
+	var gapsSrc, gapsEmp []time.Duration
+	for i := 1; i < len(src.Jobs); i++ {
+		gapsSrc = append(gapsSrc, src.Jobs[i].Submit-src.Jobs[i-1].Submit)
+	}
+	for i := 0; i < 2000; i++ {
+		gapsEmp = append(gapsEmp, emp.Next(r))
+	}
+	// Burstiness (CV of gaps) must carry over from the source trace.
+	bs, be := BurstinessIndex(gapsSrc), BurstinessIndex(gapsEmp)
+	if be < bs*0.6 || be > bs*1.4 {
+		t.Errorf("resampled burstiness %v far from source %v", be, bs)
+	}
+	// Replay: a workload generated from the empirical process validates.
+	replay, err := Generate(GeneratorConfig{Jobs: 100, Arrival: emp}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalNeedsTwoJobs(t *testing.T) {
+	if NewEmpirical(&Workload{}) != nil {
+		t.Error("empirical built from empty workload")
+	}
+	one := &Workload{Jobs: []Job{{ID: 1}}}
+	if NewEmpirical(one) != nil {
+		t.Error("empirical built from single job")
+	}
+}
