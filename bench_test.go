@@ -8,8 +8,10 @@ package mcs_test
 
 import (
 	"testing"
+	"time"
 
 	"mcs/internal/experiments"
+	"mcs/internal/sim"
 )
 
 // benchExperiment runs one experiment per benchmark iteration and fails the
@@ -39,6 +41,40 @@ func BenchmarkTable2Principles(b *testing.B)      { benchExperiment(b, "T2") }
 func BenchmarkTable3Challenges(b *testing.B)      { benchExperiment(b, "T3") }
 func BenchmarkTable4UseCases(b *testing.B)        { benchExperiment(b, "T4") }
 func BenchmarkTable5FieldComparison(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkKernelThroughput measures raw kernel event throughput with a
+// fleet of self-rescheduling actors — the access pattern every ecosystem
+// model produces. The "schedule" variant uses the handle-returning API; the
+// "afterfunc" variant uses the pooled fire-and-forget fast path. The
+// events/sec metric is the headline number tracked across kernel changes
+// (see CHANGES.md for the recorded history).
+func BenchmarkKernelThroughput(b *testing.B) {
+	bench := func(b *testing.B, schedule func(k *sim.Kernel, delay sim.Time, fn sim.Handler)) {
+		k := sim.New(42)
+		const actors = 256
+		var step func(id int) sim.Handler
+		step = func(id int) sim.Handler {
+			return func(now sim.Time) {
+				delay := sim.Time(id%7+1) * sim.Time(time.Millisecond)
+				schedule(k, delay, step(id))
+			}
+		}
+		for i := 0; i < actors; i++ {
+			schedule(k, sim.Time(i)*sim.Time(time.Microsecond), step(i))
+		}
+		k.SetMaxEvents(uint64(b.N))
+		b.ResetTimer()
+		k.Run()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	}
+	b.Run("schedule", func(b *testing.B) {
+		bench(b, func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.MustSchedule(delay, fn) })
+	})
+	b.Run("afterfunc", func(b *testing.B) {
+		bench(b, func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.AfterFunc(delay, fn) })
+	})
+}
 
 func BenchmarkD1AutoscalerMatrix(b *testing.B)   { benchExperiment(b, "D1") }
 func BenchmarkD2CorrelatedFailures(b *testing.B) { benchExperiment(b, "D2") }

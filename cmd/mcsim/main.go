@@ -1,20 +1,19 @@
-// Command mcsim runs a datacenter simulation scenario described in JSON —
-// the OpenDC-style "what-if" exploration of paper §6.1 and C11.
+// Command mcsim runs simulation scenarios described in JSON through the
+// scenario registry — one runner for every ecosystem the toolkit models
+// (paper §5.3 C15–C16: reproducible simulation-based experimentation across
+// workload domains).
 //
 // Usage:
 //
-//	mcsim -scenario scenario.json
-//	mcsim -example            # print an example scenario and exit
+//	mcsim -scenario scenario.json   # run a scenario document
+//	mcsim -list                     # enumerate registered scenario kinds
+//	mcsim -example [-kind faas]     # print an example document and exit
 //
-// The scenario format (all durations in seconds):
-//
-//	{
-//	  "machines": 32, "class": "commodity", "rackSize": 16,
-//	  "workload": {"jobs": 500, "pattern": "bursty", "shape": "bag", "trace": ""},
-//	  "scheduler": {"queue": "sjf", "placement": "bestfit", "mode": "easy"},
-//	  "failures": {"enabled": true, "mtbfSeconds": 3600, "repairSeconds": 600, "groupMean": 4},
-//	  "horizonSeconds": 86400, "seed": 1
-//	}
+// A scenario document is a JSON object whose "kind" field selects the
+// registered scenario ("datacenter", "faas", "gaming", "banking", "graph",
+// ...); a missing kind defaults to "datacenter" for backward compatibility
+// with pre-registry documents. The "seed" field drives the deterministic
+// kernel: same document, same seed, byte-identical result JSON.
 package main
 
 import (
@@ -22,252 +21,85 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
-	"time"
 
-	"mcs/internal/dcmodel"
-	"mcs/internal/failure"
 	"mcs/internal/opendc"
-	"mcs/internal/sched"
-	"mcs/internal/trace"
-	"mcs/internal/workload"
+	"mcs/internal/scenario"
+
+	// Ecosystem packages register their scenarios on import.
+	_ "mcs/internal/banking"
+	_ "mcs/internal/faas"
+	_ "mcs/internal/gaming"
+	_ "mcs/internal/graphproc"
 )
 
-// ScenarioConfig is the JSON scenario schema.
-type ScenarioConfig struct {
-	Machines int    `json:"machines"`
-	Class    string `json:"class"`
-	RackSize int    `json:"rackSize"`
-	Workload struct {
-		Jobs    int    `json:"jobs"`
-		Pattern string `json:"pattern"`
-		Shape   string `json:"shape"`
-		Trace   string `json:"trace"`
-	} `json:"workload"`
-	Scheduler struct {
-		Queue     string `json:"queue"`
-		Placement string `json:"placement"`
-		Mode      string `json:"mode"`
-	} `json:"scheduler"`
-	Failures struct {
-		Enabled       bool    `json:"enabled"`
-		MTBFSeconds   float64 `json:"mtbfSeconds"`
-		RepairSeconds float64 `json:"repairSeconds"`
-		GroupMean     float64 `json:"groupMean"`
-	} `json:"failures"`
-	HorizonSeconds float64 `json:"horizonSeconds"`
-	Seed           int64   `json:"seed"`
+// ScenarioConfig is the datacenter scenario schema, kept under its original
+// name for compatibility; the schema itself now lives with the simulator.
+type ScenarioConfig = opendc.ScenarioJSON
+
+// BuildScenario converts the JSON config into a runnable datacenter
+// scenario. Retained as a thin wrapper over opendc.Build.
+func BuildScenario(cfg ScenarioConfig) (*opendc.Scenario, error) {
+	return opendc.Build(cfg)
 }
 
-// ResultJSON is the machine-readable run summary.
-type ResultJSON struct {
-	Policy              string  `json:"policy"`
-	Completed           int     `json:"completed"`
-	Failed              int     `json:"failed"`
-	MakespanSeconds     float64 `json:"makespanSeconds"`
-	MeanWaitSeconds     float64 `json:"meanWaitSeconds"`
-	P95WaitSeconds      float64 `json:"p95WaitSeconds"`
-	MeanSlowdown        float64 `json:"meanSlowdown"`
-	Utilization         float64 `json:"utilization"`
-	EnergyKWh           float64 `json:"energyKWh"`
-	GoodputTasksPerHour float64 `json:"goodputTasksPerHour"`
-	FailureRestarts     int     `json:"failureRestarts"`
-	SimulatedEvents     uint64  `json:"simulatedEvents"`
-}
-
-const exampleScenario = `{
-  "machines": 32, "class": "commodity", "rackSize": 16,
-  "workload": {"jobs": 500, "pattern": "bursty", "shape": "bag"},
-  "scheduler": {"queue": "sjf", "placement": "bestfit", "mode": "easy"},
-  "failures": {"enabled": true, "mtbfSeconds": 3600, "repairSeconds": 600, "groupMean": 4},
-  "horizonSeconds": 86400, "seed": 1
-}`
+const exampleScenario = opendc.ExampleJSON
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// run executes the CLI: results go to out, progress chatter to status.
+func run(args []string, out, status io.Writer) error {
 	fs := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	var (
 		scenarioPath = fs.String("scenario", "", "path to scenario JSON")
+		kind         = fs.String("kind", "", "scenario kind for -example (default datacenter)")
+		list         = fs.Bool("list", false, "list registered scenario kinds and exit")
 		example      = fs.Bool("example", false, "print an example scenario and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		for _, name := range scenario.List() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
 	if *example {
-		fmt.Fprintln(out, exampleScenario)
+		name := *kind
+		if name == "" {
+			name = scenario.DefaultKind
+		}
+		factory, ok := scenario.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown kind %q (registered: %v)", name, scenario.List())
+		}
+		ex, ok := factory().(scenario.Exampler)
+		if !ok {
+			return fmt.Errorf("scenario %q has no example", name)
+		}
+		fmt.Fprintln(out, ex.Example())
 		return nil
 	}
 	if *scenarioPath == "" {
-		return fmt.Errorf("missing -scenario (use -example for the format)")
+		return fmt.Errorf("missing -scenario (use -example for the format, -list for kinds)")
 	}
 	raw, err := os.ReadFile(*scenarioPath)
 	if err != nil {
 		return err
 	}
-	var cfg ScenarioConfig
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		return fmt.Errorf("parse scenario: %w", err)
-	}
-	sc, err := BuildScenario(cfg)
+	res, err := scenario.RunDocument(raw)
 	if err != nil {
 		return err
 	}
-	res, err := opendc.Run(sc)
-	if err != nil {
-		return err
-	}
+	fmt.Fprintf(status, "mcsim: %s seed=%d: %d events in %v\n",
+		res.Scenario, res.Seed, res.Events, res.WallClock.Round(res.WallClock/100+1))
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ResultJSON{
-		Policy:              sc.Sched.Named(),
-		Completed:           res.Completed,
-		Failed:              res.Failed,
-		MakespanSeconds:     res.Makespan.Seconds(),
-		MeanWaitSeconds:     res.MeanWait.Seconds(),
-		P95WaitSeconds:      res.P95Wait.Seconds(),
-		MeanSlowdown:        res.MeanSlowdown,
-		Utilization:         res.Utilization,
-		EnergyKWh:           res.EnergyKWh,
-		GoodputTasksPerHour: res.GoodputTasksPerHour,
-		FailureRestarts:     res.FailureRestarts,
-		SimulatedEvents:     res.SimulatedEvents,
-	})
-}
-
-// BuildScenario converts the JSON config into a runnable scenario.
-func BuildScenario(cfg ScenarioConfig) (*opendc.Scenario, error) {
-	if cfg.Machines <= 0 {
-		cfg.Machines = 16
-	}
-	class, err := classByName(cfg.Class)
-	if err != nil {
-		return nil, err
-	}
-	cluster := dcmodel.NewHomogeneous("mcsim", cfg.Machines, class, cfg.RackSize)
-
-	var w *workload.Workload
-	if cfg.Workload.Trace != "" {
-		file, err := os.Open(cfg.Workload.Trace)
-		if err != nil {
-			return nil, err
-		}
-		defer file.Close()
-		w, err = trace.Read(file)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		gen := workload.GeneratorConfig{Jobs: cfg.Workload.Jobs}
-		switch cfg.Workload.Pattern {
-		case "", "poisson":
-			gen.Arrival = workload.Poisson{RatePerHour: 120}
-		case "bursty":
-			gen.Arrival = &workload.MMPP2{CalmRatePerHour: 30, BurstRatePerHour: 600,
-				MeanCalm: time.Hour, MeanBurst: 10 * time.Minute}
-		case "diurnal":
-			gen.Arrival = &workload.Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}
-		default:
-			return nil, fmt.Errorf("unknown arrival pattern %q", cfg.Workload.Pattern)
-		}
-		switch cfg.Workload.Shape {
-		case "", "bag":
-			gen.Shape = workload.BagOfTasks
-		case "chain":
-			gen.Shape = workload.Chain
-		case "forkjoin":
-			gen.Shape = workload.ForkJoin
-		case "dag":
-			gen.Shape = workload.RandomDAG
-		default:
-			return nil, fmt.Errorf("unknown shape %q", cfg.Workload.Shape)
-		}
-		w, err = workload.Generate(gen, rand.New(rand.NewSource(cfg.Seed)))
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	schedCfg := sched.Config{}
-	switch cfg.Scheduler.Queue {
-	case "", "fcfs":
-		schedCfg.Queue = sched.FCFS{}
-	case "sjf":
-		schedCfg.Queue = sched.SJF{}
-	case "ljf":
-		schedCfg.Queue = sched.LJF{}
-	case "wfp3":
-		schedCfg.Queue = sched.WFP3{}
-	case "fairshare":
-		schedCfg.Queue = sched.NewFairShare()
-	default:
-		return nil, fmt.Errorf("unknown queue policy %q", cfg.Scheduler.Queue)
-	}
-	switch cfg.Scheduler.Placement {
-	case "", "firstfit":
-		schedCfg.Placement = sched.FirstFit{}
-	case "bestfit":
-		schedCfg.Placement = sched.BestFit{}
-	case "worstfit":
-		schedCfg.Placement = sched.WorstFit{}
-	case "fastestfit":
-		schedCfg.Placement = sched.FastestFit{}
-	default:
-		return nil, fmt.Errorf("unknown placement policy %q", cfg.Scheduler.Placement)
-	}
-	switch cfg.Scheduler.Mode {
-	case "", "easy":
-		schedCfg.Mode = sched.EASY
-	case "strict":
-		schedCfg.Mode = sched.Strict
-	case "greedy":
-		schedCfg.Mode = sched.Greedy
-	default:
-		return nil, fmt.Errorf("unknown queue mode %q", cfg.Scheduler.Mode)
-	}
-
-	sc := &opendc.Scenario{
-		Cluster:  cluster,
-		Workload: w,
-		Sched:    schedCfg,
-		Horizon:  time.Duration(cfg.HorizonSeconds * float64(time.Second)),
-		Seed:     cfg.Seed,
-	}
-	if cfg.Failures.Enabled {
-		mtbf := time.Duration(cfg.Failures.MTBFSeconds * float64(time.Second))
-		repair := time.Duration(cfg.Failures.RepairSeconds * float64(time.Second))
-		if mtbf <= 0 {
-			mtbf = time.Hour
-		}
-		if repair <= 0 {
-			repair = 10 * time.Minute
-		}
-		if cfg.Failures.GroupMean > 1 {
-			sc.Failures = failure.CorrelatedModel(mtbf, repair, cfg.Failures.GroupMean)
-		} else {
-			sc.Failures = failure.IndependentModel(mtbf, repair)
-		}
-	}
-	return sc, nil
-}
-
-func classByName(name string) (dcmodel.MachineClass, error) {
-	switch name {
-	case "", "commodity":
-		return dcmodel.ClassCommodity, nil
-	case "bignode":
-		return dcmodel.ClassBig, nil
-	case "oldgen":
-		return dcmodel.ClassSlow, nil
-	case "gpu":
-		return dcmodel.ClassGPU, nil
-	default:
-		return dcmodel.MachineClass{}, fmt.Errorf("unknown machine class %q", name)
-	}
+	return enc.Encode(res)
 }

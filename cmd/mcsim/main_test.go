@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"mcs/internal/opendc"
+	"mcs/internal/scenario"
 )
 
 func parseExample(t *testing.T) ScenarioConfig {
@@ -103,6 +108,80 @@ func TestBuildScenarioRejectsUnknowns(t *testing.T) {
 	for i, cfg := range bad {
 		if _, err := BuildScenario(cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestListFlagEnumeratesRegistry(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	listed := strings.Fields(out.String())
+	if len(listed) < 5 {
+		t.Fatalf("-list printed %d kinds, want >= 5: %q", len(listed), out.String())
+	}
+	for _, want := range []string{"datacenter", "faas", "gaming", "banking", "graph"} {
+		found := false
+		for _, kind := range listed {
+			if kind == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("-list missing %q: %v", want, listed)
+		}
+	}
+}
+
+func TestExampleFlagPerKind(t *testing.T) {
+	for _, kind := range []string{"datacenter", "faas", "gaming", "banking", "graph"} {
+		var out strings.Builder
+		if err := run([]string{"-example", "-kind", kind}, &out, io.Discard); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+			t.Fatalf("%s example is not valid JSON: %v", kind, err)
+		}
+		if doc["kind"] != kind {
+			t.Errorf("%s example carries kind=%v", kind, doc["kind"])
+		}
+	}
+	if err := run([]string{"-example", "-kind", "nope"}, &strings.Builder{}, io.Discard); err == nil {
+		t.Error("unknown -kind accepted")
+	}
+}
+
+// TestRunnerDispatchesEveryKind drives the full CLI path — document file in,
+// result envelope out — for one small scenario per registered ecosystem.
+func TestRunnerDispatchesEveryKind(t *testing.T) {
+	docs := map[string]string{
+		"datacenter": `{"kind": "datacenter", "machines": 4, "workload": {"jobs": 12}, "horizonSeconds": 7200, "seed": 1}`,
+		"faas":       `{"kind": "faas", "invocations": 100, "meanGapSeconds": 1, "seed": 2}`,
+		"gaming":     `{"kind": "gaming", "zones": 4, "zoneCapacity": 30, "arrivalPerHour": 200, "horizonHours": 3, "seed": 3}`,
+		"banking":    `{"kind": "banking", "transactions": 200, "seed": 4}`,
+		"graph":      `{"kind": "graph", "scale": 7, "edgeFactor": 4, "seed": 5}`,
+	}
+	for kind, doc := range docs {
+		path := filepath.Join(t.TempDir(), kind+".json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run([]string{"-scenario", path}, &out, io.Discard); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var res scenario.Result
+		if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+			t.Fatalf("%s: bad result JSON: %v", kind, err)
+		}
+		if res.Scenario != kind {
+			t.Errorf("%s: result scenario = %q", kind, res.Scenario)
+		}
+		if len(res.Metrics) == 0 {
+			t.Errorf("%s: no metrics", kind)
 		}
 	}
 }

@@ -4,17 +4,21 @@
 // Engineer Computer Ecosystems through and beyond Modern Distributed
 // Systems" (Iosup et al., ICDCS 2018).
 //
-// The toolkit provides a deterministic discrete-event simulation kernel and,
-// on top of it, every substrate the paper's programme requires: workload and
-// trace models, a datacenter simulator with pluggable resource management
-// and scheduling, autoscalers and SPEC elasticity metrics, correlated
-// failure models, a serverless (FaaS) platform, an online-gaming ecosystem,
-// a graph-processing platform with the six Graphalytics kernels, implicit
-// social-network analyses, a PSD2-style banking pipeline, and the ecosystem
-// core itself: layered reference architectures, composable non-functional
-// properties, and the Ecosystem Navigation solver.
+// The toolkit provides a high-throughput deterministic discrete-event
+// simulation kernel (internal/sim), a pluggable scenario registry
+// (internal/scenario) that unifies every workload domain behind one
+// interface and one runner, and, on top of them, every substrate the
+// paper's programme requires: workload and trace models, a datacenter
+// simulator with pluggable resource management and scheduling, autoscalers
+// and SPEC elasticity metrics, correlated failure models, a serverless
+// (FaaS) platform, an online-gaming ecosystem, a graph-processing platform
+// with the six Graphalytics kernels, implicit social-network analyses, a
+// PSD2-style banking pipeline, and the ecosystem core itself: layered
+// reference architectures, composable non-functional properties, and the
+// Ecosystem Navigation solver.
 //
-// Start with examples/quickstart, run experiments with cmd/mcsbench, and see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the per-figure
-// reproduction record.
+// Start with examples/quickstart, run any registered scenario with
+// cmd/mcsim (-list enumerates the kinds), run experiments with
+// cmd/mcsbench, and see DESIGN.md for the architecture and system
+// inventory.
 package mcs

@@ -89,6 +89,12 @@ type txState struct {
 // discipline and returns latency/deadline statistics. Transactions must be
 // sorted by arrival time.
 func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed int64) (*ClearingResult, error) {
+	return RunClearingOn(sim.New(seed), pipeline, txs, disc)
+}
+
+// RunClearingOn runs the pipeline on a caller-provided kernel — the entry
+// point used by the scenario registry, where the runner owns the kernel.
+func RunClearingOn(k *sim.Kernel, pipeline []Stage, txs []Transaction, disc QueueDiscipline) (*ClearingResult, error) {
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("banking: empty pipeline")
 	}
@@ -97,7 +103,6 @@ func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed
 			return nil, fmt.Errorf("banking: stage %q misconfigured", st.Name)
 		}
 	}
-	k := sim.New(seed)
 	type station struct {
 		busy  int
 		queue []*txState
@@ -120,7 +125,7 @@ func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed
 		if svc < 0.001 {
 			svc = 0.001
 		}
-		k.MustSchedule(time.Duration(svc*float64(time.Second)), func(now sim.Time) {
+		k.AfterFunc(time.Duration(svc*float64(time.Second)), func(now sim.Time) {
 			st.busy--
 			// Pull the next queued transaction per discipline.
 			if len(st.queue) > 0 {
@@ -136,7 +141,7 @@ func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed
 				st.queue = append(st.queue[:idx], st.queue[idx+1:]...)
 				// Re-admit at this stage.
 				nextSI := si
-				k.MustSchedule(0, func(sim.Time) { serveOrQueue(nextSI, next) })
+				k.AfterFunc(0, func(sim.Time) { serveOrQueue(nextSI, next) })
 			}
 			// Advance this transaction.
 			s.stage++
@@ -161,11 +166,13 @@ func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed
 	}
 	admit = func(s *txState) { serveOrQueue(s.stage, s) }
 
+	arrivals := make([]sim.BatchItem, len(txs))
 	for i := range txs {
 		s := &txState{tx: txs[i]}
-		if _, err := k.ScheduleAt(txs[i].Arrive, func(sim.Time) { admit(s) }); err != nil {
-			return nil, fmt.Errorf("banking: schedule arrival: %w", err)
-		}
+		arrivals[i] = sim.BatchItem{At: txs[i].Arrive, Fn: func(sim.Time) { admit(s) }}
+	}
+	if err := k.ScheduleBatch(arrivals); err != nil {
+		return nil, fmt.Errorf("banking: schedule arrivals: %w", err)
 	}
 	k.SetMaxEvents(20_000_000)
 	k.Run()

@@ -1,0 +1,97 @@
+package banking
+
+// This file adapts the PSD2-style clearing pipeline to the scenario registry
+// (internal/scenario), registered under "banking": a JSON schema selecting
+// the workload size, deadline mix, and queue discipline, and a thin
+// scenario.Scenario implementation over the default four-stage pipeline.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+)
+
+// ScenarioJSON is the JSON schema of the "banking" scenario.
+type ScenarioJSON struct {
+	// Transactions is the size of the daily workload (default 5000).
+	Transactions int `json:"transactions"`
+	// InstantShare is the fraction of transactions with a 10-second instant
+	// deadline (the rest get one hour).
+	InstantShare float64 `json:"instantShare"`
+	// Discipline is "fcfs" or "edf" (default "edf").
+	Discipline string `json:"discipline"`
+	Seed       int64  `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run banking scenario document.
+const ExampleJSON = `{
+  "kind": "banking",
+  "transactions": 5000, "instantShare": 0.3,
+  "discipline": "edf", "seed": 5
+}`
+
+type bankingScenario struct {
+	txCount      int
+	instantShare float64
+	disc         QueueDiscipline
+	seed         int64
+}
+
+func init() {
+	scenario.Register("banking", func() scenario.Scenario { return &bankingScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (b *bankingScenario) Name() string { return "banking" }
+
+// Example implements scenario.Exampler.
+func (b *bankingScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (b *bankingScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if cfg.Transactions <= 0 {
+		cfg.Transactions = 5000
+	}
+	if cfg.InstantShare < 0 || cfg.InstantShare > 1 {
+		return fmt.Errorf("banking scenario: instantShare %v out of [0,1]", cfg.InstantShare)
+	}
+	switch cfg.Discipline {
+	case "", "edf":
+		b.disc = EDF
+	case "fcfs":
+		b.disc = FCFS
+	default:
+		return fmt.Errorf("banking scenario: unknown discipline %q", cfg.Discipline)
+	}
+	b.txCount = cfg.Transactions
+	b.instantShare = cfg.InstantShare
+	b.seed = cfg.Seed
+	return nil
+}
+
+// Run implements scenario.Scenario.
+func (b *bankingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	txs := GenerateTransactions(b.txCount, b.instantShare, b.seed)
+	res, err := RunClearingOn(k, DefaultPipeline(), txs, b.disc)
+	if err != nil {
+		return nil, err
+	}
+	return &scenario.Result{
+		Metrics: map[string]float64{
+			"completed":           float64(res.Completed),
+			"deadlineMisses":      float64(res.DeadlineMiss),
+			"missRate":            res.MissRate,
+			"meanLatencySeconds":  res.MeanLatency.Seconds(),
+			"p95LatencySeconds":   res.P95Latency.Seconds(),
+			"meanLatenessSeconds": res.MeanLateness.Seconds(),
+			"maxQueueDepth":       float64(res.MaxQueueDepth),
+		},
+		Labels: map[string]string{"discipline": b.disc.String()},
+	}, nil
+}

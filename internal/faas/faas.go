@@ -132,6 +132,13 @@ var ErrUnknownFunction = errors.New("faas: unknown function")
 
 // NewPlatform creates a platform hosting the given functions.
 func NewPlatform(cfg Config, functions []Function) (*Platform, error) {
+	return NewPlatformOn(sim.New(cfg.Seed), cfg, functions)
+}
+
+// NewPlatformOn creates a platform on a caller-provided kernel — the entry
+// point used by the scenario registry, where the runner owns the kernel.
+// The config's Seed field is ignored; the kernel's seed governs.
+func NewPlatformOn(k *sim.Kernel, cfg Config, functions []Function) (*Platform, error) {
 	if cfg.MaxInstances <= 0 {
 		cfg.MaxInstances = 64
 	}
@@ -139,7 +146,7 @@ func NewPlatform(cfg Config, functions []Function) (*Platform, error) {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
 	p := &Platform{
-		k:           sim.New(cfg.Seed),
+		k:           k,
 		cfg:         cfg,
 		fns:         make(map[string]*Function, len(functions)),
 		state:       make(map[string]*fnState, len(functions)),
@@ -200,7 +207,7 @@ func (p *Platform) coldStart(st *fnState, call *pendingCall) {
 	}
 	inst := &instance{born: p.k.Now()}
 	inst.timer = sim.NewTimer(p.k, func(now sim.Time) { p.reap(st, inst, now) })
-	p.k.MustSchedule(st.fn.ColdStart, func(now sim.Time) {
+	p.k.AfterFunc(st.fn.ColdStart, func(now sim.Time) {
 		p.execute(st, inst, call, true)
 	})
 }
@@ -214,7 +221,7 @@ func (p *Platform) execute(st *fnState, inst *instance, call *pendingCall, cold 
 	if execSec < 0.0001 {
 		execSec = 0.0001
 	}
-	p.k.MustSchedule(time.Duration(execSec*float64(time.Second)), func(now sim.Time) {
+	p.k.AfterFunc(time.Duration(execSec*float64(time.Second)), func(now sim.Time) {
 		st.busy--
 		rec := Record{
 			Function: st.fn.Name,
@@ -264,9 +271,16 @@ func (p *Platform) Drain() *Result {
 	p.k.SetMaxEvents(20_000_000)
 	p.k.Run()
 	now := p.k.Now()
-	// Bill instances still alive at the end.
-	for _, st := range p.state {
-		for _, inst := range st.idle {
+	// Bill instances still alive at the end, in name order: summing in map
+	// iteration order would let floating-point rounding differ between
+	// same-seed runs.
+	names := make([]string, 0, len(p.state))
+	for name := range p.state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, inst := range p.state[name].idle {
 			p.instSeconds += (now - inst.born).Seconds()
 		}
 	}

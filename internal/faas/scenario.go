@@ -1,0 +1,156 @@
+package faas
+
+// This file adapts the FaaS platform to the scenario registry
+// (internal/scenario), registered under "faas": a JSON schema for the
+// function catalog and the invocation stream, and a thin scenario.Scenario
+// implementation that generates Poisson invocations from the kernel's
+// deterministic RNG and drains the platform.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+	"mcs/internal/stats"
+)
+
+// FunctionJSON declares one deployable function in the scenario document.
+type FunctionJSON struct {
+	Name string `json:"name"`
+	// MeanSeconds is the mean execution time; durations are drawn from a
+	// lognormal around it, truncated to [mean/20, mean*20].
+	MeanSeconds float64 `json:"meanSeconds"`
+	// SigmaLog is the lognormal shape parameter (default 0.6).
+	SigmaLog         float64 `json:"sigmaLog"`
+	ColdStartSeconds float64 `json:"coldStartSeconds"`
+	MemoryMB         int     `json:"memoryMB"`
+}
+
+// ScenarioJSON is the JSON schema of the "faas" scenario.
+type ScenarioJSON struct {
+	Functions []FunctionJSON `json:"functions"`
+	// Invocations is the total number of calls, spread Poisson over the
+	// functions (uniform choice) with MeanGapSeconds between arrivals.
+	Invocations    int     `json:"invocations"`
+	MeanGapSeconds float64 `json:"meanGapSeconds"`
+	// Platform operational knobs (zero values take platform defaults).
+	KeepWarm           int     `json:"keepWarm"`
+	MaxInstances       int     `json:"maxInstances"`
+	IdleTimeoutSeconds float64 `json:"idleTimeoutSeconds"`
+	Seed               int64   `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run faas scenario document.
+const ExampleJSON = `{
+  "kind": "faas",
+  "functions": [
+    {"name": "ingest", "meanSeconds": 0.1, "coldStartSeconds": 1, "memoryMB": 128},
+    {"name": "resize", "meanSeconds": 0.4, "coldStartSeconds": 2, "memoryMB": 512},
+    {"name": "store", "meanSeconds": 0.08, "coldStartSeconds": 1, "memoryMB": 128}
+  ],
+  "invocations": 2000, "meanGapSeconds": 3,
+  "keepWarm": 1, "idleTimeoutSeconds": 120, "seed": 7
+}`
+
+type faasScenario struct {
+	cfg       Config
+	functions []Function
+	names     []string
+	count     int
+	meanGap   time.Duration
+}
+
+func init() {
+	scenario.Register("faas", func() scenario.Scenario { return &faasScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (f *faasScenario) Name() string { return "faas" }
+
+// Example implements scenario.Exampler.
+func (f *faasScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (f *faasScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if len(cfg.Functions) == 0 {
+		// Default catalog: the serverless example's image pipeline.
+		cfg.Functions = []FunctionJSON{
+			{Name: "ingest", MeanSeconds: 0.1, ColdStartSeconds: 1, MemoryMB: 128},
+			{Name: "resize", MeanSeconds: 0.4, ColdStartSeconds: 2, MemoryMB: 512},
+			{Name: "store", MeanSeconds: 0.08, ColdStartSeconds: 1, MemoryMB: 128},
+		}
+	}
+	for _, fn := range cfg.Functions {
+		if fn.Name == "" {
+			return fmt.Errorf("faas scenario: function with empty name")
+		}
+		mean := fn.MeanSeconds
+		if mean <= 0 {
+			mean = 0.1
+		}
+		sigma := fn.SigmaLog
+		if sigma <= 0 {
+			sigma = 0.6
+		}
+		f.functions = append(f.functions, Function{
+			Name:      fn.Name,
+			Exec:      stats.Truncate{D: stats.LogNormal{Mu: math.Log(mean), Sigma: sigma}, Lo: mean / 20, Hi: mean * 20},
+			ColdStart: time.Duration(fn.ColdStartSeconds * float64(time.Second)),
+			MemoryMB:  fn.MemoryMB,
+		})
+		f.names = append(f.names, fn.Name)
+	}
+	f.count = cfg.Invocations
+	if f.count <= 0 {
+		f.count = 1000
+	}
+	gap := cfg.MeanGapSeconds
+	if gap <= 0 {
+		gap = 1
+	}
+	f.meanGap = time.Duration(gap * float64(time.Second))
+	f.cfg = Config{
+		MaxInstances: cfg.MaxInstances,
+		KeepWarm:     cfg.KeepWarm,
+		IdleTimeout:  time.Duration(cfg.IdleTimeoutSeconds * float64(time.Second)),
+	}
+	return nil
+}
+
+// Run implements scenario.Scenario.
+func (f *faasScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	p, err := NewPlatformOn(k, f.cfg, f.functions)
+	if err != nil {
+		return nil, err
+	}
+	r := k.Rand()
+	var at time.Duration
+	for i := 0; i < f.count; i++ {
+		at += time.Duration(r.ExpFloat64() * float64(f.meanGap))
+		inv := Invocation{Function: f.names[r.Intn(len(f.names))], At: at}
+		if err := p.Invoke(inv, nil); err != nil {
+			return nil, err
+		}
+	}
+	res := p.Drain()
+	return &scenario.Result{
+		Metrics: map[string]float64{
+			"invocations":        float64(len(res.Records)),
+			"meanLatencySeconds": res.MeanLatency.Seconds(),
+			"p50LatencySeconds":  res.P50Latency.Seconds(),
+			"p95LatencySeconds":  res.P95Latency.Seconds(),
+			"p99LatencySeconds":  res.P99Latency.Seconds(),
+			"coldStarts":         float64(res.ColdStarts),
+			"coldFraction":       res.ColdFraction,
+			"instanceSeconds":    res.InstanceSeconds,
+			"peakInstances":      float64(res.PeakInstances),
+		},
+	}, nil
+}

@@ -69,6 +69,13 @@ type player struct {
 
 // RunWorld simulates the virtual world and returns its result.
 func RunWorld(cfg WorldConfig) (*WorldResult, error) {
+	return RunWorldOn(sim.New(cfg.Seed), cfg)
+}
+
+// RunWorldOn simulates the virtual world on a caller-provided kernel — the
+// entry point used by the scenario registry, where the runner owns the
+// kernel. The config's Seed field is ignored; the kernel's seed governs.
+func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	if cfg.Zones <= 0 || cfg.ZoneCapacity <= 0 {
 		return nil, fmt.Errorf("gaming: zones=%d capacity=%d", cfg.Zones, cfg.ZoneCapacity)
 	}
@@ -81,17 +88,17 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 	if cfg.MoveEveryMinutes <= 0 {
 		cfg.MoveEveryMinutes = 10
 	}
-	k := sim.New(cfg.Seed)
 	res := &WorldResult{
 		ConcurrentSeries: stats.NewTimeSeries(),
 		ServerSeries:     stats.NewTimeSeries(),
 		Interactions:     social.NewInteractionGraph(),
 	}
 	zonePop := make([]int, cfg.Zones)
-	zoneMembers := make([]map[int]bool, cfg.Zones)
-	for i := range zoneMembers {
-		zoneMembers[i] = make(map[int]bool)
-	}
+	// Per-zone membership as swap-delete slices (+ a position index): map
+	// iteration order here would make the sampled co-presence ties — and so
+	// the analytics graph — differ between same-seed runs.
+	zoneMembers := make([][]int, cfg.Zones)
+	memberPos := make(map[int]int)
 	concurrent := 0
 	nextID := 0
 
@@ -119,21 +126,30 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 	enter := func(p *player, zone int, now sim.Time) {
 		p.zone = zone
 		zonePop[zone]++
-		// Record implicit co-presence ties with up to 3 current members
-		// (sampling keeps the graph tractable).
-		count := 0
-		for other := range zoneMembers[zone] {
-			res.Interactions.AddInteraction(playerName(p.id), playerName(other), 1)
-			count++
-			if count >= 3 {
-				break
-			}
+		// Record implicit co-presence ties with up to 3 current members —
+		// the slice tail, which swap-deletes reorder arbitrarily; the point
+		// is a deterministic sample (reproducible same-seed runs), not
+		// recency.
+		members := zoneMembers[zone]
+		lo := len(members) - 3
+		if lo < 0 {
+			lo = 0
 		}
-		zoneMembers[zone][p.id] = true
+		for _, other := range members[lo:] {
+			res.Interactions.AddInteraction(playerName(p.id), playerName(other), 1)
+		}
+		memberPos[p.id] = len(members)
+		zoneMembers[zone] = append(members, p.id)
 	}
 	leaveZone := func(p *player) {
 		zonePop[p.zone]--
-		delete(zoneMembers[p.zone], p.id)
+		members := zoneMembers[p.zone]
+		i := memberPos[p.id]
+		last := len(members) - 1
+		members[i] = members[last]
+		memberPos[members[i]] = i
+		zoneMembers[p.zone] = members[:last]
+		delete(memberPos, p.id)
 	}
 
 	var overloadTime time.Duration
@@ -171,7 +187,7 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 			}
 			leaveZone(p)
 			enter(p, k.Rand().Intn(cfg.Zones), now)
-			k.MustSchedule(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
+			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
 		}
 	}
 	scheduleArrival = func(now sim.Time) {
@@ -179,7 +195,7 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 		if now+gap >= sim.Time(cfg.Horizon) {
 			return
 		}
-		k.MustSchedule(gap, func(now sim.Time) {
+		k.AfterFunc(gap, func(now sim.Time) {
 			nextID++
 			p := &player{id: nextID}
 			res.PlayersServed++
@@ -189,12 +205,12 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 			}
 			enter(p, k.Rand().Intn(cfg.Zones), now)
 			sessionMin := cfg.SessionMinutes.Sample(k.Rand())
-			k.MustSchedule(time.Duration(sessionMin*float64(time.Minute)), func(sim.Time) {
+			k.AfterFunc(time.Duration(sessionMin*float64(time.Minute)), func(sim.Time) {
 				leaveZone(p)
 				p.zone = -1
 				concurrent--
 			})
-			k.MustSchedule(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
+			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
 			scheduleArrival(now)
 		})
 	}

@@ -1,0 +1,99 @@
+package gaming
+
+// This file adapts the virtual-world simulation to the scenario registry
+// (internal/scenario), registered under "gaming": a JSON schema for the
+// world parameters and a thin scenario.Scenario implementation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+)
+
+// ScenarioJSON is the JSON schema of the "gaming" scenario.
+type ScenarioJSON struct {
+	Zones             int     `json:"zones"`
+	ZoneCapacity      int     `json:"zoneCapacity"`
+	MaxServersPerZone int     `json:"maxServersPerZone"`
+	ArrivalPerHour    float64 `json:"arrivalPerHour"`
+	DiurnalAmp        float64 `json:"diurnalAmp"`
+	MoveEveryMinutes  float64 `json:"moveEveryMinutes"`
+	HorizonHours      float64 `json:"horizonHours"`
+	Seed              int64   `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run gaming scenario document.
+const ExampleJSON = `{
+  "kind": "gaming",
+  "zones": 12, "zoneCapacity": 100,
+  "arrivalPerHour": 3000, "diurnalAmp": 0.8,
+  "horizonHours": 24, "seed": 3
+}`
+
+type gamingScenario struct {
+	cfg WorldConfig
+}
+
+func init() {
+	scenario.Register("gaming", func() scenario.Scenario { return &gamingScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (g *gamingScenario) Name() string { return "gaming" }
+
+// Example implements scenario.Exampler.
+func (g *gamingScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (g *gamingScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = 12
+	}
+	if cfg.ZoneCapacity <= 0 {
+		cfg.ZoneCapacity = 100
+	}
+	if cfg.ArrivalPerHour <= 0 {
+		cfg.ArrivalPerHour = 1000
+	}
+	if cfg.HorizonHours <= 0 {
+		cfg.HorizonHours = 24
+	}
+	if cfg.HorizonHours > 24*365 {
+		return fmt.Errorf("gaming scenario: horizon %v hours too large", cfg.HorizonHours)
+	}
+	g.cfg = WorldConfig{
+		Zones:             cfg.Zones,
+		ZoneCapacity:      cfg.ZoneCapacity,
+		MaxServersPerZone: cfg.MaxServersPerZone,
+		ArrivalPerHour:    cfg.ArrivalPerHour,
+		DiurnalAmp:        cfg.DiurnalAmp,
+		MoveEveryMinutes:  cfg.MoveEveryMinutes,
+		Horizon:           time.Duration(cfg.HorizonHours * float64(time.Hour)),
+	}
+	return nil
+}
+
+// Run implements scenario.Scenario.
+func (g *gamingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	res, err := RunWorldOn(k, g.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &scenario.Result{
+		Metrics: map[string]float64{
+			"playersServed":     float64(res.PlayersServed),
+			"peakConcurrent":    float64(res.PeakConcurrent),
+			"peakServers":       float64(res.PeakServers),
+			"meanServers":       res.MeanServers,
+			"overloadTimeShare": res.OverloadTimeShare,
+			"socialTies":        float64(res.Interactions.NumEdges()),
+		},
+	}, nil
+}

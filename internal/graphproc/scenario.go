@@ -1,0 +1,150 @@
+package graphproc
+
+// This file adapts the graph-processing platform to the scenario registry
+// (internal/scenario), registered under "graph". The graph is generated from
+// the kernel's deterministic RNG and each Graphalytics kernel runs as one
+// simulation event, so graph runs flow through the same engine path as every
+// other ecosystem. Only seed-stable quantities (checksums, graph shape) are
+// reported as metrics; wall-clock-dependent numbers (makespan, EVPS) travel
+// in the envelope's WallClock field instead.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+)
+
+// ScenarioJSON is the JSON schema of the "graph" scenario.
+type ScenarioJSON struct {
+	// Generator is "rmat", "er", or "grid2d" (default "rmat").
+	Generator string `json:"generator"`
+	// Scale gives ~2^scale vertices (default 12).
+	Scale int `json:"scale"`
+	// EdgeFactor is the directed edges per vertex (default 16).
+	EdgeFactor int `json:"edgeFactor"`
+	// Algorithms lists the kernels to run (default: all six).
+	Algorithms []string `json:"algorithms"`
+	// Engine is "sequential" (default; fully deterministic) or
+	// "parallel-bsp".
+	Engine string `json:"engine"`
+	Seed   int64  `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run graph scenario document.
+const ExampleJSON = `{
+  "kind": "graph",
+  "generator": "rmat", "scale": 12, "edgeFactor": 16,
+  "algorithms": ["bfs", "pagerank", "wcc", "cdlp", "lcc", "sssp"],
+  "engine": "sequential", "seed": 9
+}`
+
+type graphScenario struct {
+	kind       GeneratorKind
+	scale      int
+	edgeFactor int
+	algorithms []Algorithm
+	engine     Engine
+}
+
+func init() {
+	scenario.Register("graph", func() scenario.Scenario { return &graphScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (g *graphScenario) Name() string { return "graph" }
+
+// Example implements scenario.Exampler.
+func (g *graphScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (g *graphScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	switch cfg.Generator {
+	case "", "rmat":
+		g.kind = RMAT
+	case "er":
+		g.kind = ER
+	case "grid2d":
+		g.kind = Grid2D
+	default:
+		return fmt.Errorf("graph scenario: unknown generator %q", cfg.Generator)
+	}
+	g.scale = cfg.Scale
+	if g.scale == 0 {
+		g.scale = 12
+	}
+	if g.scale < 1 || g.scale > 28 {
+		return fmt.Errorf("graph scenario: scale %d out of [1,28]", g.scale)
+	}
+	g.edgeFactor = cfg.EdgeFactor
+	if len(cfg.Algorithms) == 0 {
+		g.algorithms = Algorithms()
+	} else {
+		known := make(map[Algorithm]bool)
+		for _, a := range Algorithms() {
+			known[a] = true
+		}
+		for _, name := range cfg.Algorithms {
+			alg := Algorithm(name)
+			if !known[alg] {
+				return fmt.Errorf("graph scenario: unknown algorithm %q", name)
+			}
+			g.algorithms = append(g.algorithms, alg)
+		}
+	}
+	switch cfg.Engine {
+	case "", "sequential":
+		g.engine = Sequential
+	case "parallel-bsp", "parallel":
+		g.engine = ParallelBSP
+	default:
+		return fmt.Errorf("graph scenario: unknown engine %q", cfg.Engine)
+	}
+	return nil
+}
+
+// Run implements scenario.Scenario.
+func (g *graphScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	// SSSP needs weights; generating them unconditionally keeps the graph
+	// identical whichever algorithm subset runs.
+	graph, err := Generate(g.kind, g.scale, g.edgeFactor, true, k.Rand())
+	if err != nil {
+		return nil, err
+	}
+	metrics := map[string]float64{
+		"vertices":   float64(graph.NumVertices()),
+		"edges":      float64(graph.NumEdges()),
+		"degreeSkew": graph.DegreeSkew(),
+	}
+	var runErr error
+	for _, alg := range g.algorithms {
+		alg := alg
+		k.AfterFunc(0, func(sim.Time) {
+			if runErr != nil {
+				return
+			}
+			res, err := RunAlgorithm(graph, alg, g.engine)
+			if err != nil {
+				runErr = err
+				return
+			}
+			metrics["checksum."+string(alg)] = res.Checksum
+		})
+	}
+	k.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &scenario.Result{
+		Metrics: metrics,
+		Labels: map[string]string{
+			"engine":    g.engine.String(),
+			"generator": g.kind.String(),
+		},
+	}, nil
+}

@@ -13,6 +13,7 @@ package opendc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mcs/internal/dcmodel"
@@ -153,6 +154,13 @@ var (
 // Run executes the scenario and returns its result. The cluster is reset
 // before and left dirty after; callers reusing a cluster should Reset it.
 func Run(sc *Scenario) (*Result, error) {
+	return RunOn(sim.New(sc.Seed), sc)
+}
+
+// RunOn executes the scenario on a caller-provided kernel — the entry point
+// used by the scenario registry, where the runner owns the kernel. The
+// kernel must be fresh (virtual time zero).
+func RunOn(k *sim.Kernel, sc *Scenario) (*Result, error) {
 	if sc.Cluster == nil || len(sc.Cluster.Machines) == 0 {
 		return nil, ErrNoCluster
 	}
@@ -183,7 +191,7 @@ func Run(sc *Scenario) (*Result, error) {
 	}
 
 	e := &engine{
-		k:             sim.New(sc.Seed),
+		k:             k,
 		scenario:      sc,
 		cfg:           cfg,
 		records:       make(map[workload.TaskID]*TaskRecord),
@@ -209,16 +217,21 @@ func Run(sc *Scenario) (*Result, error) {
 		e.horizon = sc.Workload.Span() + 2*serial + 24*time.Hour
 	}
 
-	// Submit events.
+	// Submit events, admitted in one batch heapify.
+	submits := make([]sim.BatchItem, 0, len(sc.Workload.Jobs))
 	for i := range sc.Workload.Jobs {
 		job := &sc.Workload.Jobs[i]
 		e.jobs[job.ID] = job
-		if _, err := e.k.ScheduleAt(job.Submit, func(now sim.Time) { e.submitJob(job, now) }); err != nil {
-			return nil, fmt.Errorf("opendc: schedule submit: %w", err)
-		}
+		submits = append(submits, sim.BatchItem{
+			At: job.Submit,
+			Fn: func(now sim.Time) { e.submitJob(job, now) },
+		})
+	}
+	if err := e.k.ScheduleBatch(submits); err != nil {
+		return nil, fmt.Errorf("opendc: schedule submits: %w", err)
 	}
 
-	// Failure injection.
+	// Failure injection: the whole pre-generated trace goes in as one batch.
 	if sc.Failures != nil {
 		racks := make([]string, len(sc.Cluster.Machines))
 		for i, m := range sc.Cluster.Machines {
@@ -228,11 +241,16 @@ func Run(sc *Scenario) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("opendc: failures: %w", err)
 		}
+		failures := make([]sim.BatchItem, 0, len(events))
 		for _, fe := range events {
 			fe := fe
-			if _, err := e.k.ScheduleAt(fe.At, func(now sim.Time) { e.failMachines(fe, now) }); err != nil {
-				return nil, fmt.Errorf("opendc: schedule failure: %w", err)
-			}
+			failures = append(failures, sim.BatchItem{
+				At: fe.At,
+				Fn: func(now sim.Time) { e.failMachines(fe, now) },
+			})
+		}
+		if err := e.k.ScheduleBatch(failures); err != nil {
+			return nil, fmt.Errorf("opendc: schedule failures: %w", err)
 		}
 	}
 
@@ -314,7 +332,7 @@ func (e *engine) armScheduler() {
 		return
 	}
 	e.schedArmed = true
-	e.k.MustSchedule(0, func(now sim.Time) {
+	e.k.AfterFunc(0, func(now sim.Time) {
 		e.schedArmed = false
 		e.schedule(now)
 	})
@@ -363,7 +381,7 @@ func (e *engine) wakeMachines(n int, now sim.Time) {
 		n--
 		e.waking[m.ID] = true
 		m := m
-		e.k.MustSchedule(e.power.WakeDelay, func(now sim.Time) {
+		e.k.AfterFunc(e.power.WakeDelay, func(now sim.Time) {
 			e.accrueEnergy(now)
 			m.SetAsleep(false)
 			delete(e.waking, m.ID)
@@ -555,7 +573,7 @@ func (e *engine) failMachines(fe failure.Event, now sim.Time) {
 		m.SetDown(true)
 		repairAt := now + fe.Repair
 		if repairAt < e.horizon {
-			e.k.MustSchedule(fe.Repair, func(now sim.Time) {
+			e.k.AfterFunc(fe.Repair, func(now sim.Time) {
 				m.SetDown(false)
 				e.armScheduler()
 			})
@@ -609,7 +627,15 @@ func (e *engine) finish() *Result {
 	for id := range e.jobs {
 		jobComplete[id] = true
 	}
-	for _, rec := range e.records {
+	// Aggregate in task-ID order: map iteration order would reorder the
+	// floating-point sums below and break bit-exact reproducibility (C15).
+	ids := make([]workload.TaskID, 0, len(e.records))
+	for id := range e.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := e.records[id]
 		res.Records = append(res.Records, *rec)
 		if !rec.Completed {
 			res.Failed++

@@ -1,0 +1,247 @@
+package opendc
+
+// This file adapts the datacenter simulator to the scenario registry
+// (internal/scenario): the JSON schema the original mcsim CLI accepted, a
+// builder from that schema to a runnable Scenario, and the thin
+// scenario.Scenario implementation registered under "datacenter" (the
+// default kind, for backward compatibility with pre-registry documents).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"mcs/internal/dcmodel"
+	"mcs/internal/failure"
+	"mcs/internal/scenario"
+	"mcs/internal/sched"
+	"mcs/internal/sim"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
+)
+
+// ScenarioJSON is the JSON schema of the datacenter scenario (all durations
+// in seconds). Unknown fields — notably the registry envelope's "kind" —
+// are ignored.
+type ScenarioJSON struct {
+	Machines int    `json:"machines"`
+	Class    string `json:"class"`
+	RackSize int    `json:"rackSize"`
+	Workload struct {
+		Jobs    int    `json:"jobs"`
+		Pattern string `json:"pattern"`
+		Shape   string `json:"shape"`
+		Trace   string `json:"trace"`
+	} `json:"workload"`
+	Scheduler struct {
+		Queue     string `json:"queue"`
+		Placement string `json:"placement"`
+		Mode      string `json:"mode"`
+	} `json:"scheduler"`
+	Failures struct {
+		Enabled       bool    `json:"enabled"`
+		MTBFSeconds   float64 `json:"mtbfSeconds"`
+		RepairSeconds float64 `json:"repairSeconds"`
+		GroupMean     float64 `json:"groupMean"`
+	} `json:"failures"`
+	HorizonSeconds float64 `json:"horizonSeconds"`
+	Seed           int64   `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run datacenter scenario document.
+const ExampleJSON = `{
+  "kind": "datacenter",
+  "machines": 32, "class": "commodity", "rackSize": 16,
+  "workload": {"jobs": 500, "pattern": "bursty", "shape": "bag"},
+  "scheduler": {"queue": "sjf", "placement": "bestfit", "mode": "easy"},
+  "failures": {"enabled": true, "mtbfSeconds": 3600, "repairSeconds": 600, "groupMean": 4},
+  "horizonSeconds": 86400, "seed": 1
+}`
+
+// Build converts the JSON schema into a runnable scenario.
+func Build(cfg ScenarioJSON) (*Scenario, error) {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 16
+	}
+	class, err := classByName(cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	cluster := dcmodel.NewHomogeneous("mcsim", cfg.Machines, class, cfg.RackSize)
+
+	var w *workload.Workload
+	if cfg.Workload.Trace != "" {
+		file, err := os.Open(cfg.Workload.Trace)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		w, err = trace.Read(file)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		gen := workload.GeneratorConfig{Jobs: cfg.Workload.Jobs}
+		switch cfg.Workload.Pattern {
+		case "", "poisson":
+			gen.Arrival = workload.Poisson{RatePerHour: 120}
+		case "bursty":
+			gen.Arrival = &workload.MMPP2{CalmRatePerHour: 30, BurstRatePerHour: 600,
+				MeanCalm: time.Hour, MeanBurst: 10 * time.Minute}
+		case "diurnal":
+			gen.Arrival = &workload.Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}
+		default:
+			return nil, fmt.Errorf("unknown arrival pattern %q", cfg.Workload.Pattern)
+		}
+		switch cfg.Workload.Shape {
+		case "", "bag":
+			gen.Shape = workload.BagOfTasks
+		case "chain":
+			gen.Shape = workload.Chain
+		case "forkjoin":
+			gen.Shape = workload.ForkJoin
+		case "dag":
+			gen.Shape = workload.RandomDAG
+		default:
+			return nil, fmt.Errorf("unknown shape %q", cfg.Workload.Shape)
+		}
+		w, err = workload.Generate(gen, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	schedCfg := sched.Config{}
+	switch cfg.Scheduler.Queue {
+	case "", "fcfs":
+		schedCfg.Queue = sched.FCFS{}
+	case "sjf":
+		schedCfg.Queue = sched.SJF{}
+	case "ljf":
+		schedCfg.Queue = sched.LJF{}
+	case "wfp3":
+		schedCfg.Queue = sched.WFP3{}
+	case "fairshare":
+		schedCfg.Queue = sched.NewFairShare()
+	default:
+		return nil, fmt.Errorf("unknown queue policy %q", cfg.Scheduler.Queue)
+	}
+	switch cfg.Scheduler.Placement {
+	case "", "firstfit":
+		schedCfg.Placement = sched.FirstFit{}
+	case "bestfit":
+		schedCfg.Placement = sched.BestFit{}
+	case "worstfit":
+		schedCfg.Placement = sched.WorstFit{}
+	case "fastestfit":
+		schedCfg.Placement = sched.FastestFit{}
+	default:
+		return nil, fmt.Errorf("unknown placement policy %q", cfg.Scheduler.Placement)
+	}
+	switch cfg.Scheduler.Mode {
+	case "", "easy":
+		schedCfg.Mode = sched.EASY
+	case "strict":
+		schedCfg.Mode = sched.Strict
+	case "greedy":
+		schedCfg.Mode = sched.Greedy
+	default:
+		return nil, fmt.Errorf("unknown queue mode %q", cfg.Scheduler.Mode)
+	}
+
+	sc := &Scenario{
+		Cluster:  cluster,
+		Workload: w,
+		Sched:    schedCfg,
+		Horizon:  time.Duration(cfg.HorizonSeconds * float64(time.Second)),
+		Seed:     cfg.Seed,
+	}
+	if cfg.Failures.Enabled {
+		mtbf := time.Duration(cfg.Failures.MTBFSeconds * float64(time.Second))
+		repair := time.Duration(cfg.Failures.RepairSeconds * float64(time.Second))
+		if mtbf <= 0 {
+			mtbf = time.Hour
+		}
+		if repair <= 0 {
+			repair = 10 * time.Minute
+		}
+		if cfg.Failures.GroupMean > 1 {
+			sc.Failures = failure.CorrelatedModel(mtbf, repair, cfg.Failures.GroupMean)
+		} else {
+			sc.Failures = failure.IndependentModel(mtbf, repair)
+		}
+	}
+	return sc, nil
+}
+
+func classByName(name string) (dcmodel.MachineClass, error) {
+	switch name {
+	case "", "commodity":
+		return dcmodel.ClassCommodity, nil
+	case "bignode":
+		return dcmodel.ClassBig, nil
+	case "oldgen":
+		return dcmodel.ClassSlow, nil
+	case "gpu":
+		return dcmodel.ClassGPU, nil
+	default:
+		return dcmodel.MachineClass{}, fmt.Errorf("unknown machine class %q", name)
+	}
+}
+
+// datacenterScenario adapts the simulator to the registry.
+type datacenterScenario struct {
+	sc     *Scenario
+	policy string
+}
+
+func init() {
+	scenario.Register("datacenter", func() scenario.Scenario { return &datacenterScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (d *datacenterScenario) Name() string { return "datacenter" }
+
+// Example implements scenario.Exampler.
+func (d *datacenterScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (d *datacenterScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	sc, err := Build(cfg)
+	if err != nil {
+		return err
+	}
+	d.sc = sc
+	d.policy = sc.Sched.Named()
+	return nil
+}
+
+// Run implements scenario.Scenario.
+func (d *datacenterScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	res, err := RunOn(k, d.sc)
+	if err != nil {
+		return nil, err
+	}
+	return &scenario.Result{
+		Metrics: map[string]float64{
+			"completed":           float64(res.Completed),
+			"failed":              float64(res.Failed),
+			"failureRestarts":     float64(res.FailureRestarts),
+			"makespanSeconds":     res.Makespan.Seconds(),
+			"meanWaitSeconds":     res.MeanWait.Seconds(),
+			"p95WaitSeconds":      res.P95Wait.Seconds(),
+			"meanSlowdown":        res.MeanSlowdown,
+			"utilization":         res.Utilization,
+			"energyKWh":           res.EnergyKWh,
+			"goodputTasksPerHour": res.GoodputTasksPerHour,
+		},
+		Labels: map[string]string{"policy": d.policy},
+		Events: res.SimulatedEvents,
+	}, nil
+}

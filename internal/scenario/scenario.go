@@ -1,0 +1,197 @@
+// Package scenario is the unification layer between the simulation kernel
+// and the ecosystem models: every workload domain (datacenter, serverless,
+// gaming, banking, graph processing, ...) plugs into one registry behind one
+// interface, so runners such as cmd/mcsim can execute any of them through a
+// single code path.
+//
+// This is the architectural answer to the paper's demand for reproducible,
+// simulation-based experimentation across many ecosystems (§5.3 C15–C16,
+// §6.1 C11): one high-throughput engine (internal/sim), many ~50-line
+// adapters. An ecosystem package registers a factory in its init function;
+// consumers import the package for effect and dispatch by kind:
+//
+//	res, err := scenario.Run("faas", seed, rawJSON)
+//
+// Results travel in a common envelope — a sorted named-metrics map, the
+// kernel event count, and the wall-clock cost — whose JSON form is
+// byte-identical across same-seed runs (wall-clock is deliberately excluded
+// from the JSON encoding to preserve that property).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mcs/internal/sim"
+)
+
+// Scenario is one runnable workload domain. Implementations are configured
+// from raw JSON (unknown fields are ignored, so the same document that
+// carries the dispatch envelope configures the scenario) and then executed
+// on a kernel provided by the runner.
+type Scenario interface {
+	// Name returns the registry kind this scenario answers to.
+	Name() string
+	// Configure parses and validates the scenario document. It is called
+	// exactly once, before Run.
+	Configure(raw json.RawMessage) error
+	// Run executes the scenario on the given kernel and returns its result.
+	// Implementations must draw all randomness from the kernel (or from
+	// sources seeded by the same scenario seed) to stay reproducible.
+	Run(k *sim.Kernel) (*Result, error)
+}
+
+// Exampler is optionally implemented by scenarios that can print a
+// ready-to-run example document (used by `mcsim -example`).
+type Exampler interface {
+	Example() string
+}
+
+// Result is the common envelope every scenario returns. Its JSON encoding is
+// deterministic for a fixed seed: Metrics is a map (Go marshals map keys in
+// sorted order) and WallClock — the only nondeterministic field — is
+// excluded from the encoding.
+type Result struct {
+	// Scenario is the registry kind that produced this result.
+	Scenario string `json:"scenario"`
+	// Seed is the kernel seed of the run.
+	Seed int64 `json:"seed"`
+	// Metrics holds the named headline numbers of the run.
+	Metrics map[string]float64 `json:"metrics"`
+	// Labels holds named string facts about the run (policy names,
+	// engine variants); like Metrics, it marshals deterministically.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Events is the number of kernel events processed.
+	Events uint64 `json:"events"`
+	// WallClock is the real time the run took. Excluded from JSON so that
+	// same-seed results stay byte-identical (paper C15–C16).
+	WallClock time.Duration `json:"-"`
+}
+
+// MetricNames returns the metric keys in sorted order.
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Factory creates a fresh, unconfigured scenario instance.
+type Factory func() Scenario
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a scenario kind to the registry. It is intended to be called
+// from package init functions and panics on a duplicate or empty name, which
+// is always a programming error.
+func Register(name string, factory Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || factory == nil {
+		panic("scenario: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = factory
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// List returns all registered kinds in sorted order.
+func List() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run is the one-call path used by runners: look the kind up, configure a
+// fresh instance from raw, execute it on a kernel seeded with seed, and
+// stamp the envelope. Scenarios that leave Events zero get the kernel's
+// processed-event count filled in.
+func Run(kind string, seed int64, raw json.RawMessage) (*Result, error) {
+	factory, ok := Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown kind %q (registered: %v)", kind, List())
+	}
+	s := factory()
+	if len(raw) == 0 {
+		raw = json.RawMessage("{}")
+	}
+	if err := s.Configure(raw); err != nil {
+		return nil, fmt.Errorf("scenario %q: configure: %w", kind, err)
+	}
+	k := sim.New(seed)
+	start := time.Now()
+	res, err := s.Run(k)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: run: %w", kind, err)
+	}
+	if res == nil {
+		return nil, fmt.Errorf("scenario %q: nil result", kind)
+	}
+	res.Scenario = kind
+	res.Seed = seed
+	if res.Events == 0 {
+		res.Events = k.Processed()
+	}
+	res.WallClock = time.Since(start)
+	if res.Metrics == nil {
+		res.Metrics = map[string]float64{}
+	}
+	return res, nil
+}
+
+// Envelope is the dispatch header shared by every scenario document: the
+// kind selects the registered scenario (empty means "datacenter" for
+// backward compatibility with pre-registry documents) and the seed drives
+// the kernel.
+type Envelope struct {
+	Kind string `json:"kind"`
+	Seed int64  `json:"seed"`
+}
+
+// DefaultKind is assumed when a scenario document carries no "kind" field.
+const DefaultKind = "datacenter"
+
+// ParseEnvelope extracts the dispatch header from a scenario document,
+// applying the backward-compatible default kind.
+func ParseEnvelope(raw json.RawMessage) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return env, fmt.Errorf("scenario: parse envelope: %w", err)
+	}
+	if env.Kind == "" {
+		env.Kind = DefaultKind
+	}
+	return env, nil
+}
+
+// RunDocument dispatches a full scenario document: parse the envelope, then
+// Run the named kind with the whole document as its configuration.
+func RunDocument(raw json.RawMessage) (*Result, error) {
+	env, err := ParseEnvelope(raw)
+	if err != nil {
+		return nil, err
+	}
+	return Run(env.Kind, env.Seed, raw)
+}

@@ -6,10 +6,25 @@
 // same seed and the same schedule of events produce byte-identical traces.
 // Determinism is an MCS methodological requirement (paper §5.3, C15–C16:
 // reproducible simulation-based experimentation).
+//
+// The hot path is tuned for throughput. Three complementary mechanisms keep
+// heap churn off the critical loop:
+//
+//   - AfterFunc is a fire-and-forget scheduling API whose events never escape
+//     the kernel, so they are recycled through an internal free list instead
+//     of pressuring the garbage collector.
+//   - AfterFunc with zero delay (the "run next, at this instant" pattern that
+//     dominates reactive models) bypasses the priority queue entirely and
+//     goes through an O(1) FIFO ring.
+//   - ScheduleBatch admits a pre-built slice of events in one heapify pass
+//     instead of n sift-ups.
+//
+// Schedule/ScheduleAt/MustSchedule retain their original semantics: they
+// return a cancelable *Event handle the caller may hold indefinitely, so
+// those events are never recycled.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -30,10 +45,15 @@ type Handler func(now Time)
 type Event struct {
 	at       Time
 	seq      uint64
-	index    int // heap index, -1 once removed
 	canceled bool
-	fn       Handler
-	label    string
+	// pooled marks events created through the fire-and-forget APIs
+	// (AfterFunc, ScheduleBatch); no handle escapes, so the kernel recycles
+	// them through the free list after they fire.
+	pooled bool
+	fn     Handler
+	label  string
+	// next links events on the kernel's free list.
+	next *Event
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -49,15 +69,30 @@ func (e *Event) Canceled() bool { return e.canceled }
 // virtual time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
+// immEvent is a zero-delay fire-and-forget event on the immediate ring. It
+// implicitly fires at the kernel's current time; seq keeps FIFO ordering
+// consistent with heap events at the same instant.
+type immEvent struct {
+	seq uint64
+	fn  Handler
+}
+
 // Kernel is a discrete-event simulation executor. The zero value is not
 // usable; construct one with New.
 type Kernel struct {
-	now       Time
-	queue     eventQueue
+	now   Time
+	queue eventQueue
+	// imm is the immediate ring: zero-delay AfterFunc events awaiting
+	// execution at the current instant. immHead indexes the front. Virtual
+	// time cannot advance while the ring is non-empty, which is what makes
+	// the implicit "at == now" representation sound.
+	imm       []immEvent
+	immHead   int
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
 	maxEvents uint64 // safety valve; 0 means unlimited
+	free      *Event // recycled pooled events
 }
 
 // New returns a kernel whose random source is seeded with seed. The same seed
@@ -79,7 +114,7 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events currently scheduled (including
 // canceled events that have not yet been discarded).
-func (k *Kernel) Pending() int { return k.queue.Len() }
+func (k *Kernel) Pending() int { return len(k.queue) + len(k.imm) - k.immHead }
 
 // SetMaxEvents installs a safety limit on the total number of events the
 // kernel will execute; Run returns once the limit is reached. Zero disables
@@ -99,7 +134,7 @@ func (k *Kernel) ScheduleAt(at Time, fn Handler) (*Event, error) {
 	}
 	k.seq++
 	ev := &Event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
 	return ev, nil
 }
 
@@ -123,6 +158,85 @@ func (k *Kernel) MustSchedule(delay Time, fn Handler) *Event {
 	return ev
 }
 
+// AfterFunc arranges for fn to run after delay, without returning a handle.
+// It is the fire-and-forget fast path: the backing event is recycled through
+// the kernel's free list after it fires, and a zero delay (run at this very
+// instant, after everything already scheduled for it) skips the priority
+// queue for an O(1) ring append. Use it for the bulk of model events —
+// completions, hand-offs, scheduler passes — and reserve Schedule for events
+// that may need Cancel. AfterFunc panics on a negative delay.
+func (k *Kernel) AfterFunc(delay Time, fn Handler) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay=%v now=%v", ErrPastEvent, delay, k.now))
+	}
+	if delay == 0 {
+		k.seq++
+		k.imm = append(k.imm, immEvent{seq: k.seq, fn: fn})
+		return
+	}
+	k.queue.push(k.allocEvent(k.now+delay, fn))
+}
+
+// BatchItem is one entry of a ScheduleBatch call.
+type BatchItem struct {
+	At Time
+	Fn Handler
+}
+
+// ScheduleBatch admits many fire-and-forget events at absolute times in one
+// call. For large batches the queue is re-heapified once — O(n) instead of
+// n·O(log n) sift-ups — which makes bulk admission (workload arrivals,
+// pre-generated failure traces) cheap. Items may be in any order; FIFO
+// ordering among same-instant events follows slice order. The call is
+// all-or-nothing: if any item lies in the past, nothing is scheduled.
+func (k *Kernel) ScheduleBatch(items []BatchItem) error {
+	for i := range items {
+		if items[i].At < k.now {
+			return fmt.Errorf("%w: at=%v now=%v (batch item %d)", ErrPastEvent, items[i].At, k.now, i)
+		}
+	}
+	// Small batches relative to the queue are cheaper as plain pushes.
+	if len(items) < len(k.queue)/8 {
+		for i := range items {
+			k.queue.push(k.allocEvent(items[i].At, items[i].Fn))
+		}
+		return nil
+	}
+	for i := range items {
+		k.queue = append(k.queue, k.allocEvent(items[i].At, items[i].Fn))
+	}
+	k.queue.init()
+	return nil
+}
+
+// allocEvent takes a pooled event off the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (k *Kernel) allocEvent(at Time, fn Handler) *Event {
+	ev := k.free
+	if ev != nil {
+		k.free = ev.next
+		ev.next = nil
+		ev.canceled = false
+	} else {
+		ev = &Event{pooled: true}
+	}
+	k.seq++
+	ev.at, ev.seq, ev.fn = at, k.seq, fn
+	return ev
+}
+
+// recycle returns a pooled event to the free list; handle-bearing events are
+// left for the garbage collector since callers may still reference them.
+func (k *Kernel) recycle(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.label = ""
+	ev.next = k.free
+	k.free = ev
+}
+
 // Cancel prevents a scheduled event from firing. Canceling an already-fired
 // or already-canceled event is a no-op.
 func (k *Kernel) Cancel(ev *Event) {
@@ -136,22 +250,41 @@ func (k *Kernel) Cancel(ev *Event) {
 // Step executes the next event, if any, advancing the clock to its time.
 // It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		ev, ok := heap.Pop(&k.queue).(*Event)
-		if !ok {
+	for {
+		// The immediate ring holds events for the current instant. A heap
+		// event preempts the ring front only when it is due at the same
+		// instant with an earlier sequence number (it was scheduled first).
+		if k.immHead < len(k.imm) {
+			front := &k.imm[k.immHead]
+			if len(k.queue) == 0 || k.queue[0].at > k.now || k.queue[0].seq > front.seq {
+				fn := front.fn
+				front.fn = nil
+				k.immHead++
+				if k.immHead == len(k.imm) {
+					k.imm = k.imm[:0]
+					k.immHead = 0
+				}
+				k.processed++
+				fn(k.now)
+				return true
+			}
+		}
+		if len(k.queue) == 0 {
 			return false
 		}
+		ev := k.queue.pop()
 		if ev.canceled {
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
 		k.processed++
 		fn := ev.fn
 		ev.fn = nil
+		k.recycle(ev)
 		fn(k.now)
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains (or the safety limit trips) and
@@ -192,50 +325,84 @@ func (k *Kernel) RunUntil(horizon Time) uint64 {
 
 // peek returns the time of the next non-canceled event.
 func (k *Kernel) peek() (Time, bool) {
-	for k.queue.Len() > 0 {
+	if k.immHead < len(k.imm) {
+		return k.now, true
+	}
+	for len(k.queue) > 0 {
 		ev := k.queue[0]
 		if !ev.canceled {
 			return ev.at, true
 		}
-		heap.Pop(&k.queue)
+		k.recycle(k.queue.pop())
 	}
 	return 0, false
 }
 
-// eventQueue is a min-heap ordered by (time, sequence number), which makes
-// simultaneous events fire in FIFO order.
+// eventQueue is a hand-rolled binary min-heap ordered by (time, sequence
+// number), which makes simultaneous events fire in FIFO order. It avoids the
+// interface indirection of container/heap on the kernel's hottest path.
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	ev.index = len(*q)
+func (q *eventQueue) push(ev *Event) {
 	*q = append(*q, ev)
+	q.up(len(*q) - 1)
 }
 
-func (q *eventQueue) Pop() any {
+func (q *eventQueue) pop() *Event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
+	n := len(old) - 1
+	ev := old[0]
+	old[0] = old[n]
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		q.down(0)
+	}
 	return ev
+}
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+}
+
+// init establishes the heap invariant over the whole slice in O(n).
+func (q eventQueue) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
