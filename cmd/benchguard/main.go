@@ -1,0 +1,170 @@
+// Command benchguard is the CI bench-regression gate: it parses `go test
+// -bench` output from stdin, compares each benchmark's ns/op against a
+// committed baseline, and exits non-zero when any benchmark regresses by
+// more than the allowed fraction.
+//
+// Usage:
+//
+//	go test . -bench=BenchmarkKernelThroughput -benchtime=0.5s -count=3 | \
+//	    go run ./cmd/benchguard -baseline BENCH_BASELINE.json
+//
+// With -count=N, the guard scores each benchmark by its best (minimum)
+// ns/op — a run can only be artificially slow, never artificially fast, so
+// best-of-N cancels host-load noise.
+//
+// Re-baselining (after an intentional kernel change, on a quiet machine):
+//
+//	go test . -bench=BenchmarkKernelThroughput -benchtime=0.5s -count=3 | \
+//	    go run ./cmd/benchguard -write BENCH_BASELINE.json
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so a baseline recorded on an 8-core machine matches a 4-core CI
+// runner. Only benchmarks present in both the baseline and the run are
+// compared; the default threshold (25%) absorbs ordinary runner noise —
+// raise -max-regress if a shared runner proves noisier.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed reference file format.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// Benchmarks maps normalized benchmark names to reference numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's reference measurement.
+type Entry struct {
+	NsPerOp float64 `json:"nsPerOp"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "baseline JSON to compare against")
+		writePath    = fs.String("write", "", "write a new baseline JSON from the bench output and exit")
+		maxRegress   = fs.Float64("max-regress", 0.25, "maximum allowed ns/op regression fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	if *writePath != "" {
+		return writeBaseline(*writePath, measured, out)
+	}
+	if *baselinePath == "" {
+		return fmt.Errorf("need -baseline to compare (or -write to record)")
+	}
+	return compare(*baselinePath, measured, *maxRegress, out)
+}
+
+// benchLine matches `BenchmarkName[-P]  <iters>  <ns> ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts normalized benchmark names and ns/op from `go test
+// -bench` output. Repeated lines for the same benchmark (`-count=N`) keep
+// the minimum — best-of-N is the standard way to cancel scheduler and
+// host-load noise, since a benchmark can only run artificially slow, never
+// artificially fast.
+func parseBench(in io.Reader) (map[string]float64, error) {
+	measured := map[string]float64{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := measured[m[1]]; !ok || ns < prev {
+			measured[m[1]] = ns
+		}
+	}
+	return measured, sc.Err()
+}
+
+func writeBaseline(path string, measured map[string]float64, out io.Writer) error {
+	b := Baseline{
+		Note:       "re-baseline: go test . -bench=BenchmarkKernelThroughput -benchtime=0.5s -count=3 | go run ./cmd/benchguard -write BENCH_BASELINE.json",
+		Benchmarks: map[string]Entry{},
+	}
+	for name, ns := range measured {
+		b.Benchmarks[name] = Entry{NsPerOp: ns}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchguard: wrote %d benchmarks to %s\n", len(measured), path)
+	return nil
+}
+
+func compare(path string, measured map[string]float64, maxRegress float64, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared, failed := 0, 0
+	for _, name := range names {
+		ns, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(out, "SKIP  %-45s not in this run\n", name)
+			continue
+		}
+		compared++
+		ref := base.Benchmarks[name].NsPerOp
+		delta := (ns - ref) / ref
+		status := "ok"
+		if delta > maxRegress {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "%-4s  %-45s %10.1f ns/op  baseline %10.1f  (%+.1f%%)\n",
+			status, name, ns, ref, delta*100)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark overlaps the baseline (names drifted?)")
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s", failed, maxRegress*100, path)
+	}
+	return nil
+}

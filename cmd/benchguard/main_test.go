@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mcs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelThroughput/schedule-8         	 3077650	       199.4 ns/op	   5016158 events/sec
+BenchmarkKernelThroughput/afterfunc-8        	 3741152	       142.5 ns/op	   7017662 events/sec
+PASS
+ok  	mcs	1.511s
+`
+
+func TestParseBenchNormalizesNames(t *testing.T) {
+	measured, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(measured))
+	}
+	if ns := measured["BenchmarkKernelThroughput/schedule"]; ns != 199.4 {
+		t.Errorf("schedule ns/op = %v (GOMAXPROCS suffix not stripped?)", ns)
+	}
+	if ns := measured["BenchmarkKernelThroughput/afterfunc"]; ns != 142.5 {
+		t.Errorf("afterfunc ns/op = %v", ns)
+	}
+}
+
+func TestParseBenchKeepsBestOfN(t *testing.T) {
+	// -count=3 output: three lines per benchmark; the minimum wins.
+	repeated := `BenchmarkKernelThroughput/schedule-8  100  250.0 ns/op
+BenchmarkKernelThroughput/schedule-8  100  199.0 ns/op
+BenchmarkKernelThroughput/schedule-8  100  230.0 ns/op
+`
+	measured, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := measured["BenchmarkKernelThroughput/schedule"]; ns != 199.0 {
+		t.Errorf("best-of-3 = %v, want 199.0", ns)
+	}
+}
+
+func TestWriteThenCompareRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out strings.Builder
+	if err := run([]string{"-write", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Same numbers: passes.
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, out.String())
+	}
+	// 30% slower than baseline: fails at the default 25% gate.
+	slow := strings.ReplaceAll(sampleBench, "199.4 ns/op", "260.0 ns/op")
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(slow), &out); err == nil {
+		t.Fatalf("30%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("no FAIL row in report:\n%s", out.String())
+	}
+	// Same 30% but with a loosened gate: passes.
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-max-regress", "0.5"}, strings.NewReader(slow), &out); err != nil {
+		t.Errorf("loosened gate still failed: %v", err)
+	}
+	// Speedups never fail.
+	fast := strings.ReplaceAll(sampleBench, "199.4 ns/op", "100.0 ns/op")
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(fast), &out); err != nil {
+		t.Errorf("speedup failed the gate: %v", err)
+	}
+}
+
+func TestCompareRejectsEmptyAndDisjoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": {"BenchmarkOther": {"nsPerOp": 10}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err == nil {
+		t.Error("disjoint baseline accepted")
+	}
+	if err := run([]string{"-baseline", path}, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}

@@ -8,6 +8,14 @@
 //	mcsbench -experiment all          # run everything (full sizes)
 //	mcsbench -experiment F5 -quick    # one experiment at unit-test scale
 //	mcsbench -list                    # enumerate experiment ids
+//
+// mcsbench sits above the scenario registry on purpose: each experiment is
+// a fixed composition of several models and policies with its own report
+// shape (the paper's figures and tables), not a single dispatchable
+// scenario document — so it drives internal/experiments directly rather
+// than scenario.RunDocument. Parameter studies over one scenario belong to
+// the registry's "sweep" kind (see cmd/mcsim -sweep), which is the
+// document-driven path for experiment campaigns.
 package main
 
 import (

@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	mcsim -scenario scenario.json   # run a scenario document
-//	mcsim -list                     # enumerate registered scenario kinds
-//	mcsim -example [-kind faas]     # print an example document and exit
+//	mcsim -scenario scenario.json              # run a scenario document
+//	mcsim -list                                # enumerate registered scenario kinds
+//	mcsim -example [-kind faas]                # print an example document and exit
+//	mcsim -scenario base.json -sweep grid.json # sweep base over a parameter grid
 //
 // A scenario document is a JSON object whose "kind" field selects the
 // registered scenario ("datacenter", "faas", "gaming", "banking", "graph",
-// ...); a missing kind defaults to "datacenter" for backward compatibility
-// with pre-registry documents. The "seed" field drives the deterministic
-// kernel: same document, same seed, byte-identical result JSON.
+// "federation", "autoscale", "social", "sweep", ...); a missing kind
+// defaults to "datacenter" for backward compatibility with pre-registry
+// documents. The "seed" field drives the deterministic kernel: same
+// document, same seed, byte-identical result JSON.
+//
+// The -sweep flag is a convenience wrapper over the "sweep" meta-scenario:
+// it takes a grid file (a JSON object mapping JSON-pointer-style paths to
+// value lists, e.g. {"/machines": [8, 16]}), composes it with the -scenario
+// document as the base, and runs the cross product — per-cell derived
+// seeds, -parallel workers, one combined report.
 package main
 
 import (
@@ -27,10 +35,13 @@ import (
 	"mcs/internal/scenario"
 
 	// Ecosystem packages register their scenarios on import.
+	_ "mcs/internal/autoscale"
 	_ "mcs/internal/banking"
 	_ "mcs/internal/faas"
+	_ "mcs/internal/federation"
 	_ "mcs/internal/gaming"
 	_ "mcs/internal/graphproc"
+	_ "mcs/internal/social"
 )
 
 // ScenarioConfig is the datacenter scenario schema, kept under its original
@@ -60,6 +71,8 @@ func run(args []string, out, status io.Writer) error {
 		kind         = fs.String("kind", "", "scenario kind for -example (default datacenter)")
 		list         = fs.Bool("list", false, "list registered scenario kinds and exit")
 		example      = fs.Bool("example", false, "print an example scenario and exit")
+		sweepPath    = fs.String("sweep", "", "path to a parameter-grid JSON; sweeps the -scenario document over it")
+		parallel     = fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +106,11 @@ func run(args []string, out, status io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *sweepPath != "" {
+		if raw, err = composeSweep(raw, *sweepPath, *parallel); err != nil {
+			return err
+		}
+	}
 	res, err := scenario.RunDocument(raw)
 	if err != nil {
 		return err
@@ -102,4 +120,28 @@ func run(args []string, out, status io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// composeSweep wraps a base scenario document and a grid file into a "sweep"
+// meta-scenario document, carrying the base's seed as the sweep seed.
+func composeSweep(base json.RawMessage, gridPath string, parallel int) (json.RawMessage, error) {
+	gridRaw, err := os.ReadFile(gridPath)
+	if err != nil {
+		return nil, err
+	}
+	var grid map[string][]json.RawMessage
+	if err := json.Unmarshal(gridRaw, &grid); err != nil {
+		return nil, fmt.Errorf("sweep grid %s: %w", gridPath, err)
+	}
+	env, err := scenario.ParseEnvelope(base)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"kind":     "sweep",
+		"seed":     env.Seed,
+		"base":     base,
+		"grid":     grid,
+		"parallel": parallel,
+	})
 }

@@ -118,10 +118,13 @@ func TestListFlagEnumeratesRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	listed := strings.Fields(out.String())
-	if len(listed) < 5 {
-		t.Fatalf("-list printed %d kinds, want >= 5: %q", len(listed), out.String())
+	if len(listed) < 9 {
+		t.Fatalf("-list printed %d kinds, want >= 9: %q", len(listed), out.String())
 	}
-	for _, want := range []string{"datacenter", "faas", "gaming", "banking", "graph"} {
+	for _, want := range []string{
+		"datacenter", "faas", "gaming", "banking", "graph",
+		"federation", "autoscale", "social", "sweep",
+	} {
 		found := false
 		for _, kind := range listed {
 			if kind == want {
@@ -136,7 +139,7 @@ func TestListFlagEnumeratesRegistry(t *testing.T) {
 }
 
 func TestExampleFlagPerKind(t *testing.T) {
-	for _, kind := range []string{"datacenter", "faas", "gaming", "banking", "graph"} {
+	for _, kind := range scenario.List() {
 		var out strings.Builder
 		if err := run([]string{"-example", "-kind", kind}, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -154,6 +157,71 @@ func TestExampleFlagPerKind(t *testing.T) {
 	}
 }
 
+// TestExampleRoundTripEveryKind is the registry round-trip smoke CI runs:
+// for every registered kind, `mcsim -example -kind K` must produce a
+// document that `mcsim -scenario` runs successfully — an unregistered
+// Exampler or a broken example doc fails here.
+func TestExampleRoundTripEveryKind(t *testing.T) {
+	for _, kind := range scenario.List() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			var doc strings.Builder
+			if err := run([]string{"-example", "-kind", kind}, &doc, io.Discard); err != nil {
+				t.Fatalf("-example: %v", err)
+			}
+			path := filepath.Join(t.TempDir(), kind+".json")
+			if err := os.WriteFile(path, []byte(doc.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := run([]string{"-scenario", path}, &out, io.Discard); err != nil {
+				t.Fatalf("round-trip run: %v", err)
+			}
+			var res scenario.Result
+			if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+				t.Fatalf("bad result JSON: %v", err)
+			}
+			if res.Scenario != kind {
+				t.Errorf("result scenario = %q, want %q", res.Scenario, kind)
+			}
+			if len(res.Metrics) == 0 {
+				t.Error("no metrics")
+			}
+		})
+	}
+}
+
+// TestSweepFlagComposesGrid drives the -sweep convenience path: a base
+// document swept over a grid file.
+func TestSweepFlagComposesGrid(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	grid := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(base, []byte(`{"kind": "banking", "transactions": 150, "seed": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(grid, []byte(`{"/discipline": ["edf", "fcfs"], "/instantShare": [0.1, 0.4]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", base, "-sweep", grid, "-parallel", "2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var res scenario.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "sweep" || res.Seed != 9 {
+		t.Errorf("envelope = %q/%d, want sweep/9", res.Scenario, res.Seed)
+	}
+	if len(res.Cells) != 4 {
+		t.Errorf("got %d cells, want 4", len(res.Cells))
+	}
+	if res.Metrics["cells"] != 4 {
+		t.Errorf("cells metric = %v", res.Metrics["cells"])
+	}
+}
+
 // TestRunnerDispatchesEveryKind drives the full CLI path — document file in,
 // result envelope out — for one small scenario per registered ecosystem.
 func TestRunnerDispatchesEveryKind(t *testing.T) {
@@ -163,6 +231,10 @@ func TestRunnerDispatchesEveryKind(t *testing.T) {
 		"gaming":     `{"kind": "gaming", "zones": 4, "zoneCapacity": 30, "arrivalPerHour": 200, "horizonHours": 3, "seed": 3}`,
 		"banking":    `{"kind": "banking", "transactions": 200, "seed": 4}`,
 		"graph":      `{"kind": "graph", "scale": 7, "edgeFactor": 4, "seed": 5}`,
+		"federation": `{"kind": "federation", "sites": [{"name": "a", "machines": 2, "jobs": 30}, {"name": "b", "machines": 4}], "seed": 6}`,
+		"autoscale":  `{"kind": "autoscale", "policy": "plan", "pattern": "flat", "horizonHours": 4, "seed": 7}`,
+		"social":     `{"kind": "social", "jobs": 120, "users": 12, "seed": 8}`,
+		"sweep":      `{"kind": "sweep", "seed": 9, "base": {"kind": "banking", "transactions": 100}, "grid": {"/discipline": ["edf", "fcfs"]}}`,
 	}
 	for kind, doc := range docs {
 		path := filepath.Join(t.TempDir(), kind+".json")

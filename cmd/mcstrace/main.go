@@ -5,6 +5,13 @@
 //
 //	mcstrace gen -jobs 500 -pattern bursty -shape dag -out trace.gwf
 //	mcstrace info trace.gwf
+//
+// mcstrace sits below the scenario registry on purpose: it produces and
+// analyzes trace files, it never runs a simulation, so there is no scenario
+// document to dispatch. It shares the registry's workload vocabulary
+// (workload.ArrivalByName/ShapeByName), and its output plugs back into the
+// registry through any scenario that accepts a trace (e.g. the datacenter
+// document's workload.trace field, run by cmd/mcsim).
 package main
 
 import (
@@ -53,30 +60,12 @@ func runGen(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := workload.GeneratorConfig{Jobs: *jobs}
-	switch *pattern {
-	case "poisson":
-		cfg.Arrival = workload.Poisson{RatePerHour: 120}
-	case "bursty":
-		cfg.Arrival = &workload.MMPP2{
-			CalmRatePerHour: 30, BurstRatePerHour: 600,
-			MeanCalm: time.Hour, MeanBurst: 10 * time.Minute,
-		}
-	case "diurnal":
-		cfg.Arrival = &workload.Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}
-	default:
-		return fmt.Errorf("unknown pattern %q", *pattern)
+	var err error
+	if cfg.Arrival, err = workload.ArrivalByName(*pattern); err != nil {
+		return err
 	}
-	switch *shape {
-	case "bag":
-		cfg.Shape = workload.BagOfTasks
-	case "chain":
-		cfg.Shape = workload.Chain
-	case "forkjoin":
-		cfg.Shape = workload.ForkJoin
-	case "dag":
-		cfg.Shape = workload.RandomDAG
-	default:
-		return fmt.Errorf("unknown shape %q", *shape)
+	if cfg.Shape, err = workload.ShapeByName(*shape); err != nil {
+		return err
 	}
 	w, err := workload.Generate(cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {

@@ -9,16 +9,24 @@
 // (internal/scenario) that unifies every workload domain behind one
 // interface and one runner, and, on top of them, every substrate the
 // paper's programme requires: workload and trace models, a datacenter
-// simulator with pluggable resource management and scheduling, autoscalers
-// and SPEC elasticity metrics, correlated failure models, a serverless
-// (FaaS) platform, an online-gaming ecosystem, a graph-processing platform
-// with the six Graphalytics kernels, implicit social-network analyses, a
+// simulator with pluggable resource management and scheduling, a
+// multi-datacenter federation with WAN-aware routing, autoscalers and SPEC
+// elasticity metrics, correlated failure models, a serverless (FaaS)
+// platform, an online-gaming ecosystem, a graph-processing platform with
+// the six Graphalytics kernels, implicit social-network analyses, a
 // PSD2-style banking pipeline, and the ecosystem core itself: layered
 // reference architectures, composable non-functional properties, and the
 // Ecosystem Navigation solver.
 //
+// Every domain is a registered scenario kind — datacenter, faas, gaming,
+// banking, graph, federation, autoscale, social — and the "sweep"
+// meta-scenario turns any of them into an experiment campaign: one base
+// document crossed over a parameter grid, run on a worker pool with
+// derived per-cell seeds and one combined, byte-deterministic report (the
+// OpenDC-style what-if portfolio).
+//
 // Start with examples/quickstart, run any registered scenario with
-// cmd/mcsim (-list enumerates the kinds), run experiments with
-// cmd/mcsbench, and see DESIGN.md for the architecture and system
-// inventory.
+// cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns), run
+// experiments with cmd/mcsbench, and see DESIGN.md for the architecture
+// and system inventory.
 package mcs

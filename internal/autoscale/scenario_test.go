@@ -1,0 +1,119 @@
+package autoscale
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+	"mcs/internal/stats"
+)
+
+// TestSimulateOnMatchesSimulate pins the kernel-driven replay to the pure
+// loop: same inputs, identical supply series.
+func TestSimulateOnMatchesSimulate(t *testing.T) {
+	horizon := 8 * time.Hour
+	demand, err := DemandByName("bursty", horizon, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SimOptions{
+		Interval:          time.Minute,
+		ProvisioningDelay: 2 * time.Minute,
+		MinSupply:         1,
+	}
+	for _, a := range All() {
+		pure := Simulate(a, demand, horizon, opts)
+		k := sim.New(1)
+		kernel := SimulateOn(k, a, demand, horizon, opts)
+		if len(pure.Points()) != len(kernel.Points()) {
+			t.Fatalf("%s: %d vs %d supply points", a.Name(), len(pure.Points()), len(kernel.Points()))
+		}
+		for i, p := range pure.Points() {
+			q := kernel.Points()[i]
+			if p.T != q.T || p.V != q.V {
+				t.Errorf("%s: point %d differs: (%v,%v) vs (%v,%v)", a.Name(), i, p.T, p.V, q.T, q.V)
+			}
+		}
+		if k.Processed() == 0 {
+			t.Errorf("%s: kernel replay produced no events", a.Name())
+		}
+	}
+}
+
+func TestAutoscaleScenarioPolicyMatrix(t *testing.T) {
+	for _, policy := range []string{"react", "adapt", "hist", "reg", "conpaas", "token", "plan"} {
+		for _, pattern := range []string{"flat", "bursty", "diurnal"} {
+			doc := json.RawMessage(`{
+				"kind": "autoscale", "policy": "` + policy + `", "pattern": "` + pattern + `",
+				"horizonHours": 4, "seed": 5
+			}`)
+			res, err := scenario.RunDocument(doc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", policy, pattern, err)
+			}
+			if res.Labels["policy"] != policy || res.Labels["pattern"] != pattern {
+				t.Errorf("labels = %v", res.Labels)
+			}
+			if res.Metrics["meanSupply"] <= 0 {
+				t.Errorf("%s/%s: meanSupply = %v", policy, pattern, res.Metrics["meanSupply"])
+			}
+			if res.Events == 0 {
+				t.Errorf("%s/%s: no kernel events", policy, pattern)
+			}
+		}
+	}
+}
+
+func TestAutoscaleScenarioRejectsUnknowns(t *testing.T) {
+	if _, err := scenario.RunDocument(json.RawMessage(`{"kind": "autoscale", "policy": "psychic"}`)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := scenario.RunDocument(json.RawMessage(`{"kind": "autoscale", "pattern": "chaotic"}`)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestAutoscaleScenarioProvisioningDelay(t *testing.T) {
+	a := &autoscaleScenario{}
+	if err := a.Configure(json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if a.opts.ProvisioningDelay != 2*time.Minute {
+		t.Errorf("absent delay = %v, want 2m default", a.opts.ProvisioningDelay)
+	}
+	// An explicit 0 means instant provisioning, not the default.
+	if err := a.Configure(json.RawMessage(`{"provisioningDelaySeconds": 0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if a.opts.ProvisioningDelay != 0 {
+		t.Errorf("explicit 0 delay = %v, want 0", a.opts.ProvisioningDelay)
+	}
+	if err := a.Configure(json.RawMessage(`{"provisioningDelaySeconds": -5}`)); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestDemandByNamePatterns(t *testing.T) {
+	horizon := 24 * time.Hour
+	for _, pattern := range []string{"flat", "bursty", "diurnal"} {
+		ts, err := DemandByName(pattern, horizon, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.Len() != int(horizon/(5*time.Minute)) {
+			t.Errorf("%s: %d points", pattern, ts.Len())
+		}
+		if ts.MaxValue() <= 0 {
+			t.Errorf("%s: no demand", pattern)
+		}
+	}
+	// Bursty should be spikier than flat.
+	flat, _ := DemandByName("flat", horizon, rand.New(rand.NewSource(7)))
+	bursty, _ := DemandByName("bursty", horizon, rand.New(rand.NewSource(7)))
+	if stats.Std(bursty.Values()) <= stats.Std(flat.Values()) {
+		t.Error("bursty demand is not burstier than flat")
+	}
+}

@@ -1,0 +1,74 @@
+package federation_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcs/internal/federation"
+	"mcs/internal/scenario"
+)
+
+func TestFederationScenarioExampleRuns(t *testing.T) {
+	res, err := scenario.RunDocument(json.RawMessage(federation.ExampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "federation" {
+		t.Errorf("scenario = %q", res.Scenario)
+	}
+	if res.Metrics["sites"] != 2 {
+		t.Errorf("sites = %v", res.Metrics["sites"])
+	}
+	if res.Metrics["completed"] == 0 {
+		t.Error("nothing completed")
+	}
+	if res.Events == 0 {
+		t.Error("no site events aggregated")
+	}
+	if res.Labels["policy"] != "least-loaded" {
+		t.Errorf("policy label = %q", res.Labels["policy"])
+	}
+}
+
+func TestFederationScenarioPolicies(t *testing.T) {
+	doc := func(policy string) json.RawMessage {
+		return json.RawMessage(`{
+			"kind": "federation",
+			"sites": [
+				{"name": "a", "machines": 2, "jobs": 60, "pattern": "bursty"},
+				{"name": "b", "machines": 6, "wanDelaySeconds": 2}
+			],
+			"policy": "` + policy + `", "seed": 11
+		}`)
+	}
+	for _, policy := range []string{"local-only", "round-robin", "least-loaded"} {
+		res, err := scenario.RunDocument(doc(policy))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Labels["policy"] != policy {
+			t.Errorf("policy label = %q, want %q", res.Labels["policy"], policy)
+		}
+		if policy == "local-only" && res.Metrics["delegated"] != 0 {
+			t.Errorf("local-only delegated %v jobs", res.Metrics["delegated"])
+		}
+		if policy == "least-loaded" && res.Metrics["delegated"] == 0 {
+			t.Error("least-loaded never delegated off the busy site")
+		}
+	}
+	if _, err := scenario.RunDocument(doc("teleport")); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFederationScenarioRejectsBadConfig(t *testing.T) {
+	for name, doc := range map[string]string{
+		"bad class":   `{"kind": "federation", "sites": [{"name": "a", "class": "quantum"}]}`,
+		"bad pattern": `{"kind": "federation", "sites": [{"name": "a", "jobs": 10, "pattern": "chaotic"}]}`,
+		"bad queue":   `{"kind": "federation", "scheduler": {"queue": "psychic"}}`,
+	} {
+		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -65,7 +65,7 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 	if cfg.Machines <= 0 {
 		cfg.Machines = 16
 	}
-	class, err := classByName(cfg.Class)
+	class, err := ClassByName(cfg.Class)
 	if err != nil {
 		return nil, err
 	}
@@ -84,28 +84,11 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 		}
 	} else {
 		gen := workload.GeneratorConfig{Jobs: cfg.Workload.Jobs}
-		switch cfg.Workload.Pattern {
-		case "", "poisson":
-			gen.Arrival = workload.Poisson{RatePerHour: 120}
-		case "bursty":
-			gen.Arrival = &workload.MMPP2{CalmRatePerHour: 30, BurstRatePerHour: 600,
-				MeanCalm: time.Hour, MeanBurst: 10 * time.Minute}
-		case "diurnal":
-			gen.Arrival = &workload.Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}
-		default:
-			return nil, fmt.Errorf("unknown arrival pattern %q", cfg.Workload.Pattern)
+		if gen.Arrival, err = workload.ArrivalByName(cfg.Workload.Pattern); err != nil {
+			return nil, err
 		}
-		switch cfg.Workload.Shape {
-		case "", "bag":
-			gen.Shape = workload.BagOfTasks
-		case "chain":
-			gen.Shape = workload.Chain
-		case "forkjoin":
-			gen.Shape = workload.ForkJoin
-		case "dag":
-			gen.Shape = workload.RandomDAG
-		default:
-			return nil, fmt.Errorf("unknown shape %q", cfg.Workload.Shape)
+		if gen.Shape, err = workload.ShapeByName(cfg.Workload.Shape); err != nil {
+			return nil, err
 		}
 		w, err = workload.Generate(gen, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {
@@ -113,42 +96,9 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 		}
 	}
 
-	schedCfg := sched.Config{}
-	switch cfg.Scheduler.Queue {
-	case "", "fcfs":
-		schedCfg.Queue = sched.FCFS{}
-	case "sjf":
-		schedCfg.Queue = sched.SJF{}
-	case "ljf":
-		schedCfg.Queue = sched.LJF{}
-	case "wfp3":
-		schedCfg.Queue = sched.WFP3{}
-	case "fairshare":
-		schedCfg.Queue = sched.NewFairShare()
-	default:
-		return nil, fmt.Errorf("unknown queue policy %q", cfg.Scheduler.Queue)
-	}
-	switch cfg.Scheduler.Placement {
-	case "", "firstfit":
-		schedCfg.Placement = sched.FirstFit{}
-	case "bestfit":
-		schedCfg.Placement = sched.BestFit{}
-	case "worstfit":
-		schedCfg.Placement = sched.WorstFit{}
-	case "fastestfit":
-		schedCfg.Placement = sched.FastestFit{}
-	default:
-		return nil, fmt.Errorf("unknown placement policy %q", cfg.Scheduler.Placement)
-	}
-	switch cfg.Scheduler.Mode {
-	case "", "easy":
-		schedCfg.Mode = sched.EASY
-	case "strict":
-		schedCfg.Mode = sched.Strict
-	case "greedy":
-		schedCfg.Mode = sched.Greedy
-	default:
-		return nil, fmt.Errorf("unknown queue mode %q", cfg.Scheduler.Mode)
+	schedCfg, err := SchedulerByNames(cfg.Scheduler.Queue, cfg.Scheduler.Placement, cfg.Scheduler.Mode)
+	if err != nil {
+		return nil, err
 	}
 
 	sc := &Scenario{
@@ -176,7 +126,9 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 	return sc, nil
 }
 
-func classByName(name string) (dcmodel.MachineClass, error) {
+// ClassByName maps a scenario document's "class" field to a machine class.
+// The empty name defaults to "commodity".
+func ClassByName(name string) (dcmodel.MachineClass, error) {
 	switch name {
 	case "", "commodity":
 		return dcmodel.ClassCommodity, nil
@@ -189,6 +141,50 @@ func classByName(name string) (dcmodel.MachineClass, error) {
 	default:
 		return dcmodel.MachineClass{}, fmt.Errorf("unknown machine class %q", name)
 	}
+}
+
+// SchedulerByNames maps a scenario document's scheduler vocabulary (queue,
+// placement, queue mode) to a sched.Config. Empty names take the documented
+// defaults (fcfs, firstfit, easy).
+func SchedulerByNames(queue, placement, mode string) (sched.Config, error) {
+	var cfg sched.Config
+	switch queue {
+	case "", "fcfs":
+		cfg.Queue = sched.FCFS{}
+	case "sjf":
+		cfg.Queue = sched.SJF{}
+	case "ljf":
+		cfg.Queue = sched.LJF{}
+	case "wfp3":
+		cfg.Queue = sched.WFP3{}
+	case "fairshare":
+		cfg.Queue = sched.NewFairShare()
+	default:
+		return cfg, fmt.Errorf("unknown queue policy %q", queue)
+	}
+	switch placement {
+	case "", "firstfit":
+		cfg.Placement = sched.FirstFit{}
+	case "bestfit":
+		cfg.Placement = sched.BestFit{}
+	case "worstfit":
+		cfg.Placement = sched.WorstFit{}
+	case "fastestfit":
+		cfg.Placement = sched.FastestFit{}
+	default:
+		return cfg, fmt.Errorf("unknown placement policy %q", placement)
+	}
+	switch mode {
+	case "", "easy":
+		cfg.Mode = sched.EASY
+	case "strict":
+		cfg.Mode = sched.Strict
+	case "greedy":
+		cfg.Mode = sched.Greedy
+	default:
+		return cfg, fmt.Errorf("unknown queue mode %q", mode)
+	}
+	return cfg, nil
 }
 
 // datacenterScenario adapts the simulator to the registry.

@@ -13,11 +13,14 @@ import (
 	"mcs/internal/scenario"
 
 	// Register every ecosystem scenario.
+	_ "mcs/internal/autoscale"
 	_ "mcs/internal/banking"
 	_ "mcs/internal/faas"
+	_ "mcs/internal/federation"
 	_ "mcs/internal/gaming"
 	_ "mcs/internal/graphproc"
 	_ "mcs/internal/opendc"
+	_ "mcs/internal/social"
 )
 
 // quickConfigs holds a small, fast configuration per registered kind.
@@ -47,6 +50,24 @@ var quickConfigs = map[string]string{
 	"graph": `{
 		"generator": "rmat", "scale": 9, "edgeFactor": 8, "seed": 9
 	}`,
+	"federation": `{
+		"sites": [
+			{"name": "a", "machines": 2, "jobs": 40, "pattern": "bursty"},
+			{"name": "b", "machines": 4, "wanDelaySeconds": 2}
+		],
+		"policy": "least-loaded", "seed": 21
+	}`,
+	"autoscale": `{
+		"policy": "conpaas", "pattern": "diurnal", "horizonHours": 6, "seed": 43
+	}`,
+	"social": `{
+		"jobs": 150, "users": 16, "windowSeconds": 300, "seed": 7
+	}`,
+	"sweep": `{
+		"seed": 17,
+		"base": {"kind": "banking", "transactions": 200},
+		"grid": {"/discipline": ["edf", "fcfs"], "/instantShare": [0.1, 0.4]}
+	}`,
 }
 
 func configFor(t *testing.T, kind string) json.RawMessage {
@@ -63,7 +84,10 @@ func configFor(t *testing.T, kind string) json.RawMessage {
 
 func TestAllScenariosRegistered(t *testing.T) {
 	kinds := scenario.List()
-	for _, want := range []string{"datacenter", "faas", "gaming", "banking", "graph"} {
+	for _, want := range []string{
+		"datacenter", "faas", "gaming", "banking", "graph",
+		"federation", "autoscale", "social", "sweep",
+	} {
 		found := false
 		for _, kind := range kinds {
 			if kind == want {

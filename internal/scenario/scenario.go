@@ -66,6 +66,9 @@ type Result struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	// Events is the number of kernel events processed.
 	Events uint64 `json:"events"`
+	// Cells holds the per-cell result envelopes of a meta-scenario (the
+	// "sweep" kind) in deterministic grid order; nil for ordinary runs.
+	Cells []*Result `json:"cells,omitempty"`
 	// WallClock is the real time the run took. Excluded from JSON so that
 	// same-seed results stay byte-identical (paper C15–C16).
 	WallClock time.Duration `json:"-"`

@@ -1,0 +1,386 @@
+package scenario
+
+// The "sweep" meta-scenario: the OpenDC-style "what-if portfolio" workflow.
+// A sweep document names a base scenario document and a parameter grid —
+// JSON-pointer-style paths mapped to value lists — and the engine expands
+// the cross product, runs every cell through the ordinary registry path on
+// its own kernel (independent kernels are safe to run side by side, so the
+// cells shard across a bounded worker pool), and emits one combined result:
+// the per-cell envelopes in deterministic grid order plus a cross-cell
+// summary of every metric. Per-cell seeds are derived by hashing the cell's
+// canonical assignment string into the base seed, so a cell's seed depends
+// only on its own coordinates — growing the grid never reshuffles the
+// seeds of existing cells, and the report bytes are identical for any
+// worker count.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"mcs/internal/sim"
+	"mcs/internal/stats"
+)
+
+// SweepJSON is the JSON schema of the "sweep" meta-scenario.
+type SweepJSON struct {
+	// Base is the scenario document every cell starts from; its "kind"
+	// selects the swept scenario (nested sweeps are rejected).
+	Base json.RawMessage `json:"base"`
+	// Grid maps JSON-pointer-style paths ("/machines",
+	// "/scheduler/queue") to the list of values to sweep. Intermediate
+	// objects are created as needed; array indexing is not supported.
+	Grid map[string][]json.RawMessage `json:"grid"`
+	// Parallel bounds the worker pool (default GOMAXPROCS). It affects
+	// wall-clock only, never the report bytes.
+	Parallel int `json:"parallel"`
+	// Repetitions runs each grid cell this many times with distinct
+	// derived seeds (default 1), turning one sweep into a small campaign.
+	Repetitions int   `json:"repetitions"`
+	Seed        int64 `json:"seed"`
+}
+
+// SweepExampleJSON is a ready-to-run sweep document: a 2×2 banking
+// portfolio over queue discipline and instant-payment share.
+const SweepExampleJSON = `{
+  "kind": "sweep",
+  "seed": 17,
+  "base": {"kind": "banking", "transactions": 800, "instantShare": 0.3, "discipline": "edf"},
+  "grid": {
+    "/discipline": ["edf", "fcfs"],
+    "/instantShare": [0.1, 0.5]
+  }
+}`
+
+// Cell is one point of the expanded grid: the concrete document to run and
+// the canonical assignment key that names it in reports and seed derivation.
+type Cell struct {
+	// Key is "path=value,path=value" over the sorted grid paths, plus a
+	// "#rep" suffix when Repetitions > 1.
+	Key string
+	// Doc is the base document with the cell's assignments applied.
+	Doc json.RawMessage
+	// Seed is the derived per-cell kernel/config seed.
+	Seed int64
+}
+
+// ExpandGrid expands the cross product of a sweep's grid against its base
+// document into deterministic cell order: paths sorted lexicographically,
+// the last path cycling fastest (odometer order), repetitions innermost.
+// An empty grid yields the base document as a single cell.
+func ExpandGrid(cfg SweepJSON) ([]Cell, error) {
+	var base map[string]any
+	if len(cfg.Base) == 0 {
+		return nil, fmt.Errorf("sweep: missing base document")
+	}
+	// UseNumber keeps numeric literals verbatim through the
+	// unmarshal/apply/marshal round trip — float64 would silently round
+	// int64-range values such as explicitly swept seeds.
+	dec := json.NewDecoder(bytes.NewReader(cfg.Base))
+	dec.UseNumber()
+	if err := dec.Decode(&base); err != nil {
+		return nil, fmt.Errorf("sweep: parse base: %w", err)
+	}
+	paths := make([]string, 0, len(cfg.Grid))
+	for p, vals := range cfg.Grid {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("sweep: grid path %q has no values", p)
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	reps := cfg.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+	total := reps
+	for _, p := range paths {
+		total *= len(cfg.Grid[p])
+	}
+	cells := make([]Cell, 0, total)
+	idx := make([]int, len(paths))
+	for {
+		parts := make([]string, len(paths))
+		for i, p := range paths {
+			parts[i] = fmt.Sprintf("%s=%s", p, compactJSON(cfg.Grid[p][idx[i]]))
+		}
+		assignKey := strings.Join(parts, ",")
+		for rep := 0; rep < reps; rep++ {
+			key := assignKey
+			if reps > 1 {
+				if key != "" {
+					key += ","
+				}
+				key += fmt.Sprintf("#%d", rep)
+			}
+			doc, err := applyCell(base, paths, idx, cfg.Grid)
+			if err != nil {
+				return nil, err
+			}
+			seed := deriveSeed(cfg.Seed, key)
+			// A grid that sweeps /seed explicitly owns the seed: a single
+			// run gets the exact swept value; repetitions re-derive from
+			// it (keyed by #rep) so reps stay distinct runs either way.
+			if gridHasSeed(paths) {
+				n, ok := doc["seed"].(json.Number)
+				if !ok {
+					return nil, fmt.Errorf("sweep: swept seed is not a number: %v", doc["seed"])
+				}
+				s, err := n.Int64()
+				if err != nil {
+					return nil, fmt.Errorf("sweep: swept seed %v: %w", n, err)
+				}
+				if reps > 1 {
+					seed = deriveSeed(s, key)
+					doc["seed"] = seed
+				} else {
+					seed = s
+				}
+			} else {
+				doc["seed"] = seed
+			}
+			raw, err := json.Marshal(doc)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: cell %q: %w", key, err)
+			}
+			cells = append(cells, Cell{Key: key, Doc: raw, Seed: seed})
+		}
+		// Odometer increment, last path fastest.
+		i := len(paths) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(cfg.Grid[paths[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return cells, nil
+}
+
+func gridHasSeed(paths []string) bool {
+	for _, p := range paths {
+		if p == "/seed" || p == "seed" {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCell deep-copies the base document and sets each grid path to the
+// cell's value.
+func applyCell(base map[string]any, paths []string, idx []int, grid map[string][]json.RawMessage) (map[string]any, error) {
+	doc := deepCopy(base).(map[string]any)
+	for i, p := range paths {
+		var val any
+		dec := json.NewDecoder(bytes.NewReader(grid[p][idx[i]]))
+		dec.UseNumber()
+		if err := dec.Decode(&val); err != nil {
+			return nil, fmt.Errorf("sweep: grid %q value %d: %w", p, idx[i], err)
+		}
+		if err := setPointer(doc, p, val); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
+// setPointer sets a JSON-pointer-style path ("/a/b" or "a/b") in a document
+// of nested objects, creating intermediate objects as needed.
+func setPointer(doc map[string]any, path string, val any) error {
+	trimmed := strings.TrimPrefix(path, "/")
+	if trimmed == "" {
+		return fmt.Errorf("sweep: empty grid path")
+	}
+	segs := strings.Split(trimmed, "/")
+	cur := doc
+	for _, seg := range segs[:len(segs)-1] {
+		next, ok := cur[seg]
+		if !ok || next == nil {
+			m := map[string]any{}
+			cur[seg] = m
+			cur = m
+			continue
+		}
+		m, ok := next.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sweep: path %q crosses non-object field %q", path, seg)
+		}
+		cur = m
+	}
+	cur[segs[len(segs)-1]] = val
+	return nil
+}
+
+func deepCopy(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		m := make(map[string]any, len(t))
+		for k, e := range t {
+			m[k] = deepCopy(e)
+		}
+		return m
+	case []any:
+		s := make([]any, len(t))
+		for i, e := range t {
+			s[i] = deepCopy(e)
+		}
+		return s
+	default:
+		return v
+	}
+}
+
+// deriveSeed mixes the base seed with the cell's canonical key via FNV-1a:
+// stable across grid growth and independent of execution order.
+func deriveSeed(base int64, cellKey string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", base, cellKey)
+	seed := int64(h.Sum64() & 0x7fffffffffffffff)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+type sweepScenario struct {
+	cfg      SweepJSON
+	cells    []Cell
+	baseKind string
+	parallel int
+}
+
+func init() {
+	Register("sweep", func() Scenario { return &sweepScenario{} })
+}
+
+// Name implements Scenario.
+func (s *sweepScenario) Name() string { return "sweep" }
+
+// Example implements Exampler.
+func (s *sweepScenario) Example() string { return SweepExampleJSON }
+
+// Configure implements Scenario.
+func (s *sweepScenario) Configure(raw json.RawMessage) error {
+	var cfg SweepJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	env, err := ParseEnvelope(cfg.Base)
+	if err != nil {
+		return fmt.Errorf("sweep: base: %w", err)
+	}
+	if env.Kind == "sweep" {
+		return fmt.Errorf("sweep: nested sweeps are not supported")
+	}
+	if _, ok := Lookup(env.Kind); !ok {
+		return fmt.Errorf("sweep: base kind %q not registered (registered: %v)", env.Kind, List())
+	}
+	cells, err := ExpandGrid(cfg)
+	if err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.cells = cells
+	s.baseKind = env.Kind
+	s.parallel = cfg.Parallel
+	if s.parallel <= 0 {
+		s.parallel = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Run implements Scenario: execute every cell on its own kernel, sharded
+// across the worker pool, then assemble the combined report in grid order.
+// The runner's kernel is unused (each cell gets a fresh kernel through the
+// ordinary Run path); the envelope's event count sums the cells.
+func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
+	results := make([]*Result, len(s.cells))
+	errs := make([]error, len(s.cells))
+	runCell := func(i int) {
+		cell := s.cells[i]
+		env, err := ParseEnvelope(cell.Doc)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := Run(env.Kind, cell.Seed, cell.Doc)
+		if err != nil {
+			errs[i] = fmt.Errorf("cell %q: %w", cell.Key, err)
+			return
+		}
+		if res.Labels == nil {
+			res.Labels = map[string]string{}
+		}
+		res.Labels["cell"] = cell.Key
+		results[i] = res
+	}
+	// A fixed pool of workers pulling cell indices keeps goroutine count at
+	// min(parallel, cells) even for huge campaigns; result order is fixed
+	// by index, so scheduling never leaks into the report.
+	workers := s.parallel
+	if workers > len(s.cells) {
+		workers = len(s.cells)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runCell(i)
+			}
+		}()
+	}
+	for i := range s.cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-cell summary: every metric that appears in any cell gets
+	// mean/min/max over the cells that report it.
+	byMetric := map[string][]float64{}
+	var events uint64
+	for _, res := range results {
+		events += res.Events
+		for name, v := range res.Metrics {
+			byMetric[name] = append(byMetric[name], v)
+		}
+	}
+	summary := map[string]float64{"cells": float64(len(results))}
+	for name, vals := range byMetric {
+		sm := stats.Summarize(vals)
+		summary[name+".mean"] = sm.Mean
+		summary[name+".min"] = sm.Min
+		summary[name+".max"] = sm.Max
+	}
+	return &Result{
+		Metrics: summary,
+		Labels:  map[string]string{"base": s.baseKind},
+		Events:  events,
+		Cells:   results,
+	}, nil
+}

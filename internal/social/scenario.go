@@ -1,0 +1,194 @@
+package social
+
+// This file adapts the implicit-social-network analyses to the scenario
+// registry (internal/scenario), registered under "social": a JSON schema for
+// the workload population and analysis windows, and a thin scenario.Scenario
+// implementation that replays job submissions as kernel events, building the
+// interaction graph online, then runs the C5 analyses (communities, dominant
+// users, job groupings) over it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mcs/internal/scenario"
+	"mcs/internal/sim"
+	"mcs/internal/workload"
+)
+
+// ScenarioJSON is the JSON schema of the "social" scenario.
+type ScenarioJSON struct {
+	// Jobs is the size of the generated workload (default 400).
+	Jobs int `json:"jobs"`
+	// Users is the user population; submissions follow a Zipf popularity
+	// (default 32).
+	Users int `json:"users"`
+	// UserSkew is the Zipf exponent of the user popularity (default 1.6).
+	UserSkew float64 `json:"userSkew"`
+	// Pattern is the arrival pattern: poisson, bursty, diurnal.
+	Pattern string `json:"pattern"`
+	// WindowSeconds is the co-occurrence window that turns overlapping
+	// submissions into implicit ties (default 300).
+	WindowSeconds float64 `json:"windowSeconds"`
+	// CommunityIterations bounds label propagation (default 16).
+	CommunityIterations int `json:"communityIterations"`
+	// DominantShare is the job share the dominant-user set must cover
+	// (default 0.8).
+	DominantShare float64 `json:"dominantShare"`
+	// GroupGapSeconds splits a user's submissions into batches (default 600).
+	GroupGapSeconds float64 `json:"groupGapSeconds"`
+	Seed            int64   `json:"seed"`
+}
+
+// ExampleJSON is a ready-to-run social scenario document.
+const ExampleJSON = `{
+  "kind": "social",
+  "jobs": 400, "users": 32, "userSkew": 1.6,
+  "pattern": "bursty", "windowSeconds": 300,
+  "dominantShare": 0.8, "groupGapSeconds": 600, "seed": 7
+}`
+
+type socialScenario struct {
+	cfg     ScenarioJSON
+	arrival workload.ArrivalProcess
+	window  time.Duration
+	gap     time.Duration
+}
+
+func init() {
+	scenario.Register("social", func() scenario.Scenario { return &socialScenario{} })
+}
+
+// Name implements scenario.Scenario.
+func (s *socialScenario) Name() string { return "social" }
+
+// Example implements scenario.Exampler.
+func (s *socialScenario) Example() string { return ExampleJSON }
+
+// Configure implements scenario.Scenario.
+func (s *socialScenario) Configure(raw json.RawMessage) error {
+	var cfg ScenarioJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 400
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 32
+	}
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = 300
+	}
+	if cfg.CommunityIterations <= 0 {
+		cfg.CommunityIterations = 16
+	}
+	if cfg.DominantShare <= 0 || cfg.DominantShare > 1 {
+		if cfg.DominantShare != 0 {
+			return fmt.Errorf("social scenario: dominantShare %v out of (0,1]", cfg.DominantShare)
+		}
+		cfg.DominantShare = 0.8
+	}
+	if cfg.GroupGapSeconds <= 0 {
+		cfg.GroupGapSeconds = 600
+	}
+	arrival, err := workload.ArrivalByName(cfg.Pattern)
+	if err != nil {
+		return err
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = "poisson" // ArrivalByName's documented default
+	}
+	s.cfg = cfg
+	s.arrival = arrival
+	s.window = time.Duration(cfg.WindowSeconds * float64(time.Second))
+	s.gap = time.Duration(cfg.GroupGapSeconds * float64(time.Second))
+	return nil
+}
+
+// Run implements scenario.Scenario: generate the workload from the kernel's
+// deterministic RNG, replay every submission as a kernel event feeding the
+// implicit interaction graph, then run the social analyses over the result.
+func (s *socialScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
+	gen := workload.DefaultGeneratorConfig()
+	gen.Jobs = s.cfg.Jobs
+	gen.Users = s.cfg.Users
+	if s.cfg.UserSkew > 0 {
+		gen.UserSkew = s.cfg.UserSkew
+	}
+	gen.Arrival = s.arrival
+	w, err := workload.Generate(gen, k.Rand())
+	if err != nil {
+		return nil, err
+	}
+
+	g := s.buildGraphOn(k, w)
+
+	labels := g.Communities(s.cfg.CommunityIterations)
+	communitySize := make(map[string]int)
+	largest := 0
+	for _, l := range labels {
+		communitySize[l]++
+		if communitySize[l] > largest {
+			largest = communitySize[l]
+		}
+	}
+	dominant := DominantUsers(w, s.cfg.DominantShare)
+	groups := JobGroupings(w, s.gap)
+	meanBatch := 0.0
+	for _, gr := range groups {
+		meanBatch += float64(len(gr.Jobs))
+	}
+	if len(groups) > 0 {
+		meanBatch /= float64(len(groups))
+	}
+	actors := len(g.Actors())
+	largestShare := 0.0
+	if actors > 0 {
+		largestShare = float64(largest) / float64(actors)
+	}
+	return &scenario.Result{
+		Metrics: map[string]float64{
+			"jobs":                  float64(len(w.Jobs)),
+			"actors":                float64(actors),
+			"ties":                  float64(g.NumEdges()),
+			"communities":           float64(len(communitySize)),
+			"largestCommunityShare": largestShare,
+			"dominantUsers":         float64(len(dominant)),
+			"groupings":             float64(len(groups)),
+			"meanBatchSize":         meanBatch,
+		},
+		Labels: map[string]string{"pattern": s.cfg.Pattern},
+	}, nil
+}
+
+// buildGraphOn replays every submission as a kernel event, tying each job's
+// user to the users seen within the co-occurrence window — the event-driven
+// twin of FromWorkload (see TestOnlineGraphMatchesFromWorkload).
+func (s *socialScenario) buildGraphOn(k *sim.Kernel, w *workload.Workload) *InteractionGraph {
+	g := NewInteractionGraph()
+	type seen struct {
+		user string
+		at   time.Duration
+	}
+	var recent []seen
+	for i := range w.Jobs {
+		job := &w.Jobs[i]
+		k.MustSchedule(job.Submit, func(now sim.Time) {
+			g.AddActor(job.User)
+			keep := recent[:0]
+			for _, r := range recent {
+				if now-r.at <= s.window {
+					keep = append(keep, r)
+					if r.user != job.User {
+						g.AddInteraction(r.user, job.User, 1)
+					}
+				}
+			}
+			recent = append(keep, seen{user: job.User, at: now})
+		})
+	}
+	k.Run()
+	return g
+}

@@ -1,0 +1,47 @@
+package workload
+
+// This file maps the scenario-document vocabulary (arrival-pattern and
+// job-shape names) to configured model instances. The canonical rates are
+// the ones the original mcsim datacenter schema used; every registry
+// adapter and CLI that accepts "pattern"/"shape" strings resolves them
+// here so the vocabulary cannot drift between runners.
+
+import (
+	"fmt"
+	"time"
+)
+
+// ArrivalByName returns the canonical arrival process for a scenario
+// document's "pattern" field. The empty name defaults to "poisson".
+func ArrivalByName(name string) (ArrivalProcess, error) {
+	switch name {
+	case "", "poisson":
+		return Poisson{RatePerHour: 120}, nil
+	case "bursty":
+		return &MMPP2{
+			CalmRatePerHour: 30, BurstRatePerHour: 600,
+			MeanCalm: time.Hour, MeanBurst: 10 * time.Minute,
+		}, nil
+	case "diurnal":
+		return &Diurnal{BasePerHour: 120, Amplitude: 0.8, PeakHour: 14}, nil
+	default:
+		return nil, fmt.Errorf("unknown arrival pattern %q", name)
+	}
+}
+
+// ShapeByName returns the job shape for a scenario document's "shape"
+// field. The empty name defaults to "bag".
+func ShapeByName(name string) (Shape, error) {
+	switch name {
+	case "", "bag":
+		return BagOfTasks, nil
+	case "chain":
+		return Chain, nil
+	case "forkjoin":
+		return ForkJoin, nil
+	case "dag":
+		return RandomDAG, nil
+	default:
+		return 0, fmt.Errorf("unknown shape %q", name)
+	}
+}
