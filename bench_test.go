@@ -45,12 +45,13 @@ func BenchmarkTable5FieldComparison(b *testing.B) { benchExperiment(b, "T5") }
 // BenchmarkKernelThroughput measures raw kernel event throughput with a
 // fleet of self-rescheduling actors — the access pattern every ecosystem
 // model produces. The "schedule" variant uses the handle-returning API; the
-// "afterfunc" variant uses the pooled fire-and-forget fast path. The
-// events/sec metric is the headline number tracked across kernel changes
-// (see CHANGES.md for the recorded history).
+// "afterfunc" variant uses the pooled fire-and-forget fast path, whose
+// short millisecond delays land in the timing wheel; "afterfunc-nowheel"
+// runs the same workload on the heap-only kernel, isolating the wheel's
+// contribution. The events/sec metric is the headline number tracked
+// across kernel changes (see CHANGES.md for the recorded history).
 func BenchmarkKernelThroughput(b *testing.B) {
-	bench := func(b *testing.B, schedule func(k *sim.Kernel, delay sim.Time, fn sim.Handler)) {
-		k := sim.New(42)
+	bench := func(b *testing.B, k *sim.Kernel, schedule func(k *sim.Kernel, delay sim.Time, fn sim.Handler)) {
 		const actors = 256
 		var step func(id int) sim.Handler
 		step = func(id int) sim.Handler {
@@ -68,11 +69,16 @@ func BenchmarkKernelThroughput(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 	}
+	mustSchedule := func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.MustSchedule(delay, fn) }
+	afterFunc := func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.AfterFunc(delay, fn) }
 	b.Run("schedule", func(b *testing.B) {
-		bench(b, func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.MustSchedule(delay, fn) })
+		bench(b, sim.New(42), mustSchedule)
 	})
 	b.Run("afterfunc", func(b *testing.B) {
-		bench(b, func(k *sim.Kernel, delay sim.Time, fn sim.Handler) { k.AfterFunc(delay, fn) })
+		bench(b, sim.New(42), afterFunc)
+	})
+	b.Run("afterfunc-nowheel", func(b *testing.B) {
+		bench(b, sim.New(42, sim.WithoutTimingWheel()), afterFunc)
 	})
 }
 

@@ -1,0 +1,100 @@
+package faas_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcs/internal/faas"
+	"mcs/internal/scenario"
+)
+
+func TestFaasScenarioExampleRuns(t *testing.T) {
+	res, err := scenario.RunDocument(json.RawMessage(faas.ExampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "faas" {
+		t.Errorf("scenario = %q", res.Scenario)
+	}
+	if res.Metrics["invocations"] != 2000 {
+		t.Errorf("invocations = %v, want 2000", res.Metrics["invocations"])
+	}
+	if res.Metrics["coldStarts"] == 0 {
+		t.Error("no cold starts despite a cold platform")
+	}
+	if res.Metrics["peakInstances"] == 0 {
+		t.Error("no instances ever started")
+	}
+	if res.Metrics["p99LatencySeconds"] < res.Metrics["p50LatencySeconds"] {
+		t.Errorf("p99 %v below p50 %v", res.Metrics["p99LatencySeconds"], res.Metrics["p50LatencySeconds"])
+	}
+	if res.Events == 0 {
+		t.Error("no kernel events recorded")
+	}
+}
+
+func TestFaasScenarioDefaultCatalog(t *testing.T) {
+	// An empty document must fall back to the image-pipeline catalog and
+	// still run a full invocation stream.
+	res, err := scenario.RunDocument(json.RawMessage(`{"kind": "faas", "invocations": 300, "seed": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["invocations"] != 300 {
+		t.Errorf("invocations = %v, want 300", res.Metrics["invocations"])
+	}
+}
+
+func TestFaasScenarioKeepWarmReducesColdStarts(t *testing.T) {
+	doc := func(keepWarm int) json.RawMessage {
+		raw, _ := json.Marshal(map[string]any{
+			"kind": "faas", "invocations": 1000, "meanGapSeconds": 1,
+			"keepWarm": keepWarm, "idleTimeoutSeconds": 30, "seed": 11,
+		})
+		return raw
+	}
+	cold, err := scenario.RunDocument(doc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := scenario.RunDocument(doc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics["coldFraction"] >= cold.Metrics["coldFraction"] {
+		t.Errorf("keepWarm did not reduce cold fraction: %v -> %v",
+			cold.Metrics["coldFraction"], warm.Metrics["coldFraction"])
+	}
+}
+
+func TestFaasScenarioSeedStable(t *testing.T) {
+	cfg := json.RawMessage(`{"invocations": 400, "meanGapSeconds": 2, "keepWarm": 1}`)
+	run := func(seed int64) []byte {
+		res, err := scenario.Run("faas", seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(7), run(7); string(a) != string(b) {
+		t.Errorf("same-seed runs differ:\n  %s\n  %s", a, b)
+	}
+	if a, c := run(7), run(8); string(a) == string(c) {
+		t.Error("different seeds produced identical results; RNG not wired in")
+	}
+}
+
+func TestFaasScenarioRejectsBadConfig(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty function name": `{"kind": "faas", "functions": [{"meanSeconds": 0.1}]}`,
+		"malformed json":      `{"kind": "faas", "invocations": "lots"}`,
+	} {
+		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package gaming_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcs/internal/gaming"
+	"mcs/internal/scenario"
+)
+
+func TestGamingScenarioExampleRuns(t *testing.T) {
+	res, err := scenario.RunDocument(json.RawMessage(gaming.ExampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "gaming" {
+		t.Errorf("scenario = %q", res.Scenario)
+	}
+	if res.Metrics["playersServed"] == 0 {
+		t.Error("no players served over a 24h horizon")
+	}
+	if res.Metrics["peakConcurrent"] == 0 {
+		t.Error("peak concurrency never rose above zero")
+	}
+	if res.Metrics["peakServers"] < res.Metrics["meanServers"] {
+		t.Errorf("peak servers %v below mean %v", res.Metrics["peakServers"], res.Metrics["meanServers"])
+	}
+	if share := res.Metrics["overloadTimeShare"]; share < 0 || share > 1 {
+		t.Errorf("overloadTimeShare = %v out of [0,1]", share)
+	}
+	if res.Events == 0 {
+		t.Error("no kernel events recorded")
+	}
+}
+
+func TestGamingScenarioDefaultsFill(t *testing.T) {
+	// A minimal document gets the documented defaults (12 zones, 24h) and
+	// still produces a live world.
+	res, err := scenario.RunDocument(json.RawMessage(`{"kind": "gaming", "seed": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["playersServed"] == 0 {
+		t.Error("defaulted world served nobody")
+	}
+}
+
+func TestGamingScenarioSeedStable(t *testing.T) {
+	cfg := json.RawMessage(`{"zones": 4, "zoneCapacity": 40, "arrivalPerHour": 500, "horizonHours": 6}`)
+	run := func(seed int64) []byte {
+		res, err := scenario.Run("gaming", seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(3), run(3); string(a) != string(b) {
+		t.Errorf("same-seed runs differ:\n  %s\n  %s", a, b)
+	}
+	if a, c := run(3), run(4); string(a) == string(c) {
+		t.Error("different seeds produced identical worlds; RNG not wired in")
+	}
+}
+
+func TestGamingScenarioRejectsBadConfig(t *testing.T) {
+	for name, doc := range map[string]string{
+		"horizon too large": `{"kind": "gaming", "horizonHours": 10000000}`,
+		"malformed json":    `{"kind": "gaming", "zones": "several"}`,
+	} {
+		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package graphproc_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcs/internal/graphproc"
+	"mcs/internal/scenario"
+)
+
+func TestGraphScenarioExampleRuns(t *testing.T) {
+	res, err := scenario.RunDocument(json.RawMessage(graphproc.ExampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "graph" {
+		t.Errorf("scenario = %q", res.Scenario)
+	}
+	if res.Metrics["vertices"] == 0 || res.Metrics["edges"] == 0 {
+		t.Errorf("degenerate graph: vertices=%v edges=%v", res.Metrics["vertices"], res.Metrics["edges"])
+	}
+	// One checksum per Graphalytics kernel in the example document.
+	for _, alg := range []string{"bfs", "pagerank", "wcc", "cdlp", "lcc", "sssp"} {
+		if _, ok := res.Metrics["checksum."+alg]; !ok {
+			t.Errorf("missing checksum for %s", alg)
+		}
+	}
+	if res.Labels["engine"] != "sequential" || res.Labels["generator"] != "rmat" {
+		t.Errorf("labels = %v", res.Labels)
+	}
+	if res.Events == 0 {
+		t.Error("no kernel events recorded (algorithms must run as events)")
+	}
+}
+
+func TestGraphScenarioAlgorithmSubsetKeepsGraphShape(t *testing.T) {
+	doc := func(algs string) json.RawMessage {
+		return json.RawMessage(`{"kind": "graph", "scale": 8, "edgeFactor": 8, "algorithms": [` + algs + `], "seed": 5}`)
+	}
+	all, err := scenario.RunDocument(doc(`"bfs", "pagerank"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := scenario.RunDocument(doc(`"bfs"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The graph is generated before any kernel runs, so the algorithm
+	// subset must not change its shape or the shared checksums.
+	for _, key := range []string{"vertices", "edges", "degreeSkew", "checksum.bfs"} {
+		if all.Metrics[key] != one.Metrics[key] {
+			t.Errorf("%s differs across algorithm subsets: %v vs %v", key, all.Metrics[key], one.Metrics[key])
+		}
+	}
+	if _, ok := one.Metrics["checksum.pagerank"]; ok {
+		t.Error("pagerank checksum reported without pagerank in the subset")
+	}
+}
+
+func TestGraphScenarioSeedStable(t *testing.T) {
+	cfg := json.RawMessage(`{"generator": "rmat", "scale": 8, "edgeFactor": 8, "algorithms": ["bfs", "wcc"]}`)
+	run := func(seed int64) []byte {
+		res, err := scenario.Run("graph", seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(9), run(9); string(a) != string(b) {
+		t.Errorf("same-seed runs differ:\n  %s\n  %s", a, b)
+	}
+	if a, c := run(9), run(10); string(a) == string(c) {
+		t.Error("different seeds produced identical graphs; RNG not wired in")
+	}
+}
+
+func TestGraphScenarioRejectsBadConfig(t *testing.T) {
+	for name, doc := range map[string]string{
+		"bad generator":  `{"kind": "graph", "generator": "smallworld"}`,
+		"bad algorithm":  `{"kind": "graph", "algorithms": ["dijkstra"]}`,
+		"bad engine":     `{"kind": "graph", "engine": "quantum"}`,
+		"scale too big":  `{"kind": "graph", "scale": 99}`,
+		"malformed json": `{"kind": "graph", "scale": "huge"}`,
+	} {
+		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

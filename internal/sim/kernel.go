@@ -7,7 +7,7 @@
 // Determinism is an MCS methodological requirement (paper §5.3, C15–C16:
 // reproducible simulation-based experimentation).
 //
-// The hot path is tuned for throughput. Three complementary mechanisms keep
+// The hot path is tuned for throughput. Four complementary mechanisms keep
 // heap churn off the critical loop:
 //
 //   - AfterFunc is a fire-and-forget scheduling API whose events never escape
@@ -16,12 +16,18 @@
 //   - AfterFunc with zero delay (the "run next, at this instant" pattern that
 //     dominates reactive models) bypasses the priority queue entirely and
 //     goes through an O(1) FIFO ring.
+//   - AfterFunc with a short positive delay goes into a timing wheel
+//     (wheel.go): O(1) per-tick bucket inserts instead of heap sift-ups,
+//     with the binary heap as the hierarchy's overflow level for far-future
+//     events. The wheel is observationally invisible — Step merges all
+//     sources strictly by (time, sequence) — and can be disabled with
+//     WithoutTimingWheel.
 //   - ScheduleBatch admits a pre-built slice of events in one heapify pass
-//     instead of n sift-ups.
+//     instead of n sift-ups (short-delay items route to the wheel too).
 //
 // Schedule/ScheduleAt/MustSchedule retain their original semantics: they
 // return a cancelable *Event handle the caller may hold indefinitely, so
-// those events are never recycled.
+// those events are never recycled and never enter the wheel.
 package sim
 
 import (
@@ -46,6 +52,9 @@ type Event struct {
 	at       Time
 	seq      uint64
 	canceled bool
+	// fired marks handle-bearing events that have already executed, so a
+	// late Cancel does not corrupt the kernel's live-event accounting.
+	fired bool
 	// pooled marks events created through the fire-and-forget APIs
 	// (AfterFunc, ScheduleBatch); no handle escapes, so the kernel recycles
 	// them through the free list after they fire.
@@ -86,20 +95,55 @@ type Kernel struct {
 	// execution at the current instant. immHead indexes the front. Virtual
 	// time cannot advance while the ring is non-empty, which is what makes
 	// the implicit "at == now" representation sound.
-	imm       []immEvent
-	immHead   int
+	imm     []immEvent
+	immHead int
+	// wheel is the timing-wheel front-end for short-delay fire-and-forget
+	// events (see wheel.go); nil when disabled via WithoutTimingWheel.
+	wheel     *timingWheel
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
 	maxEvents uint64 // safety valve; 0 means unlimited
 	free      *Event // recycled pooled events
+	// canceledQueued counts canceled handle events still occupying heap
+	// slots, so Pending can report live events without compacting.
+	canceledQueued int
+}
+
+// Option configures a Kernel at construction time.
+type Option func(*Kernel)
+
+// WithTimingWheel overrides the timing wheel's tick granularity and span
+// (horizon). The span is rounded up to the next power-of-two number of
+// ticks. Panics if tick is non-positive or span does not exceed tick.
+// The default wheel (1ms tick, 256ms span) is tuned for the dense
+// short-delay event mix of the ecosystem models; tighten the tick for
+// sub-millisecond models or widen the span for coarser ones.
+func WithTimingWheel(tick, span Time) Option {
+	return func(k *Kernel) { k.wheel = newTimingWheel(tick, span) }
+}
+
+// WithoutTimingWheel disables the timing wheel: every positive-delay event
+// goes to the binary heap. Firing order is identical either way (that is
+// the wheel's correctness contract, enforced by the differential fuzz
+// harness); the option exists for differential testing and as an escape
+// hatch.
+func WithoutTimingWheel() Option {
+	return func(k *Kernel) { k.wheel = nil }
 }
 
 // New returns a kernel whose random source is seeded with seed. The same seed
 // yields the same random stream and, therefore, the same simulation outcome
 // for deterministic models.
-func New(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+func New(seed int64, opts ...Option) *Kernel {
+	k := &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		wheel: newTimingWheel(defaultWheelTick, defaultWheelSpan),
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -112,9 +156,16 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Processed returns the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of events currently scheduled (including
-// canceled events that have not yet been discarded).
-func (k *Kernel) Pending() int { return len(k.queue) + len(k.imm) - k.immHead }
+// Pending returns the number of live events currently scheduled across the
+// heap, the immediate ring, and the timing wheel. Canceled events awaiting
+// lazy removal from the heap are not counted.
+func (k *Kernel) Pending() int {
+	n := len(k.queue) - k.canceledQueued + len(k.imm) - k.immHead
+	if k.wheel != nil {
+		n += k.wheel.count
+	}
+	return n
+}
 
 // SetMaxEvents installs a safety limit on the total number of events the
 // kernel will execute; Run returns once the limit is reached. Zero disables
@@ -160,11 +211,13 @@ func (k *Kernel) MustSchedule(delay Time, fn Handler) *Event {
 
 // AfterFunc arranges for fn to run after delay, without returning a handle.
 // It is the fire-and-forget fast path: the backing event is recycled through
-// the kernel's free list after it fires, and a zero delay (run at this very
+// the kernel's free list after it fires, a zero delay (run at this very
 // instant, after everything already scheduled for it) skips the priority
-// queue for an O(1) ring append. Use it for the bulk of model events —
-// completions, hand-offs, scheduler passes — and reserve Schedule for events
-// that may need Cancel. AfterFunc panics on a negative delay.
+// queue for an O(1) ring append, and a short positive delay lands in the
+// timing wheel's per-tick buckets instead of the heap. Use it for the bulk
+// of model events — completions, hand-offs, scheduler passes — and reserve
+// Schedule for events that may need Cancel. AfterFunc panics on a negative
+// delay.
 func (k *Kernel) AfterFunc(delay Time, fn Handler) {
 	if delay < 0 {
 		panic(fmt.Errorf("%w: delay=%v now=%v", ErrPastEvent, delay, k.now))
@@ -174,7 +227,11 @@ func (k *Kernel) AfterFunc(delay Time, fn Handler) {
 		k.imm = append(k.imm, immEvent{seq: k.seq, fn: fn})
 		return
 	}
-	k.queue.push(k.allocEvent(k.now+delay, fn))
+	at := k.now + delay
+	if k.wheelAdd(at, fn) {
+		return
+	}
+	k.queue.push(k.allocEvent(at, fn))
 }
 
 // BatchItem is one entry of a ScheduleBatch call.
@@ -184,7 +241,8 @@ type BatchItem struct {
 }
 
 // ScheduleBatch admits many fire-and-forget events at absolute times in one
-// call. For large batches the queue is re-heapified once — O(n) instead of
+// call. Short-delay items route to the timing wheel (O(1) each); for large
+// heap-bound remainders the queue is re-heapified once — O(n) instead of
 // n·O(log n) sift-ups — which makes bulk admission (workload arrivals,
 // pre-generated failure traces) cheap. Items may be in any order; FIFO
 // ordering among same-instant events follows slice order. The call is
@@ -195,17 +253,28 @@ func (k *Kernel) ScheduleBatch(items []BatchItem) error {
 			return fmt.Errorf("%w: at=%v now=%v (batch item %d)", ErrPastEvent, items[i].At, k.now, i)
 		}
 	}
-	// Small batches relative to the queue are cheaper as plain pushes.
-	if len(items) < len(k.queue)/8 {
-		for i := range items {
-			k.queue.push(k.allocEvent(items[i].At, items[i].Fn))
-		}
-		return nil
-	}
+	// Wheel-eligible items leave the queue untouched; heap-bound stragglers
+	// are appended and then sifted up individually when they are few
+	// relative to the existing queue (equivalent to plain pushes), or
+	// heapified in one O(n) pass when they dominate. Routing never changes
+	// relative order among same-instant items, because routing depends only
+	// on an item's time: same-instant items always land in the same queue.
+	start := len(k.queue)
 	for i := range items {
+		if k.wheelAdd(items[i].At, items[i].Fn) {
+			continue
+		}
 		k.queue = append(k.queue, k.allocEvent(items[i].At, items[i].Fn))
 	}
-	k.queue.init()
+	switch added := len(k.queue) - start; {
+	case added == 0:
+	case added < start/8:
+		for i := start; i < len(k.queue); i++ {
+			k.queue.up(i)
+		}
+	default:
+		k.queue.init()
+	}
 	return nil
 }
 
@@ -217,6 +286,7 @@ func (k *Kernel) allocEvent(at Time, fn Handler) *Event {
 		k.free = ev.next
 		ev.next = nil
 		ev.canceled = false
+		ev.fired = false
 	} else {
 		ev = &Event{pooled: true}
 	}
@@ -240,51 +310,93 @@ func (k *Kernel) recycle(ev *Event) {
 // Cancel prevents a scheduled event from firing. Canceling an already-fired
 // or already-canceled event is a no-op.
 func (k *Kernel) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+	if ev == nil || ev.canceled || ev.fired {
 		return
 	}
 	ev.canceled = true
 	ev.fn = nil // release references early
+	k.canceledQueued++
 }
+
+// Sources the three-way merge in Step can draw the next event from.
+const (
+	srcNone = iota
+	srcImm
+	srcHeap
+	srcWheel
+)
 
 // Step executes the next event, if any, advancing the clock to its time.
 // It reports whether an event was executed.
+//
+// The next event is the least (time, sequence) across the three queues: the
+// immediate ring (due at the current instant), the binary heap, and the
+// timing wheel. The strict merge is what makes the wheel observationally
+// invisible: firing order never depends on which queue an event landed in.
 func (k *Kernel) Step() bool {
-	for {
-		// The immediate ring holds events for the current instant. A heap
-		// event preempts the ring front only when it is due at the same
-		// instant with an earlier sequence number (it was scheduled first).
-		if k.immHead < len(k.imm) {
-			front := &k.imm[k.immHead]
-			if len(k.queue) == 0 || k.queue[0].at > k.now || k.queue[0].seq > front.seq {
-				fn := front.fn
-				front.fn = nil
-				k.immHead++
-				if k.immHead == len(k.imm) {
-					k.imm = k.imm[:0]
-					k.immHead = 0
-				}
-				k.processed++
-				fn(k.now)
-				return true
-			}
+	// Drop canceled events from the heap top so the merge compares live
+	// candidates only. Canceled events are always handle-bearing (never
+	// pooled), so there is nothing to recycle.
+	for len(k.queue) > 0 && k.queue[0].canceled {
+		k.canceledQueued--
+		k.queue.pop()
+	}
+	src := srcNone
+	var at Time
+	var seq uint64
+	if k.immHead < len(k.imm) {
+		src, at, seq = srcImm, k.now, k.imm[k.immHead].seq
+	}
+	if len(k.queue) > 0 {
+		if ev := k.queue[0]; src == srcNone || ev.at < at || (ev.at == at && ev.seq < seq) {
+			src, at, seq = srcHeap, ev.at, ev.seq
 		}
-		if len(k.queue) == 0 {
-			return false
+	}
+	if w := k.wheel; w != nil && w.count > 0 {
+		var wev *wheelEvent
+		if w.curTick >= 0 {
+			wev = &w.buckets[w.curTick&w.mask][w.curHead]
+		} else if t := w.scan(k.now); src == srcNone || Time(t)*w.tick <= at {
+			// Only sort the bucket when it can actually win the merge: if
+			// the best candidate so far fires before the bucket's start,
+			// the wheel is out of the race this step.
+			w.prime(t)
+			wev = &w.buckets[t&w.mask][0]
 		}
+		if wev != nil && (src == srcNone || wev.at < at || (wev.at == at && wev.seq < seq)) {
+			src = srcWheel
+		}
+	}
+	switch src {
+	case srcImm:
+		front := &k.imm[k.immHead]
+		fn := front.fn
+		front.fn = nil
+		k.immHead++
+		if k.immHead == len(k.imm) {
+			k.imm = k.imm[:0]
+			k.immHead = 0
+		}
+		k.processed++
+		fn(k.now)
+	case srcHeap:
 		ev := k.queue.pop()
-		if ev.canceled {
-			k.recycle(ev)
-			continue
-		}
 		k.now = ev.at
+		ev.fired = true
 		k.processed++
 		fn := ev.fn
 		ev.fn = nil
 		k.recycle(ev)
 		fn(k.now)
-		return true
+	case srcWheel:
+		at, fn := k.wheel.pop()
+		k.now = at
+		k.processed++
+		fn(k.now)
+	default:
+		return false
 	}
+	return true
 }
 
 // Run executes events until the queue drains (or the safety limit trips) and
@@ -323,19 +435,36 @@ func (k *Kernel) RunUntil(horizon Time) uint64 {
 	return k.processed - start
 }
 
-// peek returns the time of the next non-canceled event.
+// peek returns the time of the next non-canceled event across all queues.
 func (k *Kernel) peek() (Time, bool) {
 	if k.immHead < len(k.imm) {
 		return k.now, true
 	}
-	for len(k.queue) > 0 {
-		ev := k.queue[0]
-		if !ev.canceled {
-			return ev.at, true
-		}
-		k.recycle(k.queue.pop())
+	for len(k.queue) > 0 && k.queue[0].canceled {
+		k.canceledQueued--
+		k.queue.pop()
 	}
-	return 0, false
+	var at Time
+	ok := false
+	if len(k.queue) > 0 {
+		at, ok = k.queue[0].at, true
+	}
+	if w := k.wheel; w != nil && w.count > 0 {
+		if w.curTick >= 0 {
+			if wat := w.buckets[w.curTick&w.mask][w.curHead].at; !ok || wat < at {
+				at, ok = wat, true
+			}
+		} else if t := w.scan(k.now); !ok || Time(t)*w.tick < at {
+			// Prime (sort) only when the bucket could actually hold the
+			// earliest event; when the heap front is due at or before the
+			// bucket's start it already is the minimum time.
+			w.prime(t)
+			if wat := w.buckets[t&w.mask][0].at; !ok || wat < at {
+				at, ok = wat, true
+			}
+		}
+	}
+	return at, ok
 }
 
 // eventQueue is a hand-rolled binary min-heap ordered by (time, sequence

@@ -297,3 +297,210 @@ func TestScheduleNegativeDelayRejected(t *testing.T) {
 		t.Error("negative delay accepted")
 	}
 }
+
+// --- timing-wheel surface -------------------------------------------------
+
+// TestWheelHeapHorizonHandoff mixes wheel-window delays, past-horizon
+// delays, and handle-bearing events: whatever queue each lands in, the
+// firing order must be globally (time, seq).
+func TestWheelHeapHorizonHandoff(t *testing.T) {
+	k := New(1)
+	var got []Time
+	record := func(now Time) { got = append(got, now) }
+	k.AfterFunc(500*time.Millisecond, record)          // past the 256ms horizon: heap
+	k.AfterFunc(5*time.Millisecond, record)            // wheel
+	k.MustSchedule(3*time.Millisecond, record)         // handle-bearing: heap
+	k.AfterFunc(300*time.Millisecond, func(now Time) { // heap, reschedules into the wheel
+		record(now)
+		k.AfterFunc(2*time.Millisecond, record)
+	})
+	k.AfterFunc(255*time.Millisecond, record) // just inside the horizon: wheel
+	k.Run()
+	want := []Time{
+		3 * time.Millisecond, 5 * time.Millisecond, 255 * time.Millisecond,
+		300 * time.Millisecond, 302 * time.Millisecond, 500 * time.Millisecond,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunUntilLandsMidBucket stops a coarse-tick kernel between two events
+// that share a wheel bucket: the horizon must split the bucket exactly.
+func TestRunUntilLandsMidBucket(t *testing.T) {
+	k := New(1, WithTimingWheel(10*time.Millisecond, time.Second))
+	var got []Time
+	record := func(now Time) { got = append(got, now) }
+	for _, d := range []Time{12, 14, 18} { // one bucket: tick 1 of 10ms
+		k.AfterFunc(d*Time(time.Millisecond), record)
+	}
+	if n := k.RunUntil(15 * time.Millisecond); n != 2 {
+		t.Fatalf("RunUntil processed %d events, want 2", n)
+	}
+	if k.Now() != 15*time.Millisecond {
+		t.Fatalf("clock at %v, want 15ms", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending=%d, want the rest of the bucket", k.Pending())
+	}
+	// A fresh event due before the bucket remainder, landing in the
+	// current tick, must still fire first.
+	k.AfterFunc(time.Millisecond, record)
+	k.Run()
+	want := []Time{12 * time.Millisecond, 14 * time.Millisecond, 16 * time.Millisecond, 18 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCancelHeapEventRacingBucketEvent pins the Cancel interaction across
+// queues: a canceled handle event due at the same instant as a wheel event
+// must not fire and must not perturb the wheel event.
+func TestCancelHeapEventRacingBucketEvent(t *testing.T) {
+	k := New(1)
+	var got []int
+	ev := k.MustSchedule(5*time.Millisecond, func(Time) { got = append(got, 0) }) // heap, seq 1
+	k.AfterFunc(5*time.Millisecond, func(Time) { got = append(got, 1) })          // wheel, seq 2
+	k.MustSchedule(5*time.Millisecond, func(Time) { got = append(got, 2) })       // heap, seq 3
+	k.Cancel(ev)
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("firing order %v, want [1 2]", got)
+	}
+	if k.Now() != 5*time.Millisecond {
+		t.Fatalf("clock at %v", k.Now())
+	}
+}
+
+// TestPendingAcrossQueues checks Pending accounting over the heap, the
+// immediate ring, and the wheel at once, including cancellation.
+func TestPendingAcrossQueues(t *testing.T) {
+	k := New(1)
+	noop := func(Time) {}
+	ev := k.MustSchedule(time.Second, noop) // heap
+	k.MustSchedule(2*time.Second, noop)     // heap
+	k.AfterFunc(0, noop)                    // immediate ring
+	k.AfterFunc(5*time.Millisecond, noop)   // wheel
+	k.AfterFunc(10*time.Millisecond, noop)  // wheel
+	k.AfterFunc(500*time.Millisecond, noop) // past horizon: heap
+	if k.Pending() != 6 {
+		t.Fatalf("pending=%d, want 6", k.Pending())
+	}
+	k.Cancel(ev)
+	if k.Pending() != 5 {
+		t.Fatalf("pending=%d after cancel, want 5", k.Pending())
+	}
+	if !k.Step() { // drains the immediate event
+		t.Fatal("step found nothing")
+	}
+	if k.Pending() != 4 {
+		t.Fatalf("pending=%d after step, want 4", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("pending=%d after drain, want 0", k.Pending())
+	}
+}
+
+// TestPendingSkipsCanceledHeapEvents pins the Pending fix: canceled events
+// awaiting lazy removal are not live and must not be counted.
+func TestPendingSkipsCanceledHeapEvents(t *testing.T) {
+	k := New(1)
+	noop := func(Time) {}
+	evs := make([]*Event, 3)
+	for i := range evs {
+		evs[i] = k.MustSchedule(Time(i+1)*Time(time.Second), noop)
+	}
+	k.Cancel(evs[1])
+	if k.Pending() != 2 {
+		t.Fatalf("pending=%d with one canceled, want 2", k.Pending())
+	}
+	k.Cancel(evs[1]) // double cancel must not double-count
+	if k.Pending() != 2 {
+		t.Fatalf("pending=%d after double cancel, want 2", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("pending=%d after drain, want 0", k.Pending())
+	}
+	// Canceling an already-fired event is a no-op for the accounting too.
+	k.Cancel(evs[0])
+	if k.Pending() != 0 {
+		t.Fatalf("pending=%d after post-fire cancel, want 0", k.Pending())
+	}
+}
+
+// TestWithoutTimingWheel sanity-checks the heap-only configuration (the
+// differential harness compares it exhaustively against the wheel).
+func TestWithoutTimingWheel(t *testing.T) {
+	k := New(1, WithoutTimingWheel())
+	var got []Time
+	for _, d := range []Time{5, 1, 3} {
+		k.AfterFunc(d*Time(time.Millisecond), func(now Time) { got = append(got, now) })
+	}
+	if k.Pending() != 3 {
+		t.Fatalf("pending=%d, want 3", k.Pending())
+	}
+	k.Run()
+	want := []Time{time.Millisecond, 3 * time.Millisecond, 5 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTimingWheelOptionValidation pins the construction contract.
+func TestTimingWheelOptionValidation(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"zero tick":     WithTimingWheel(0, time.Second),
+		"negative tick": WithTimingWheel(-time.Millisecond, time.Second),
+		"span <= tick":  WithTimingWheel(time.Millisecond, time.Millisecond),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(1, opt)
+		}()
+	}
+}
+
+// TestScheduleBatchRoutesThroughWheel admits a bulk batch straddling the
+// horizon and checks ordering and Pending across the split.
+func TestScheduleBatchRoutesThroughWheel(t *testing.T) {
+	k := New(1)
+	var got []Time
+	record := func(now Time) { got = append(got, now) }
+	items := []BatchItem{
+		{At: 300 * time.Millisecond, Fn: record}, // heap (past horizon)
+		{At: 2 * time.Millisecond, Fn: record},   // wheel
+		{At: 2 * time.Millisecond, Fn: record},   // wheel, same instant: FIFO
+		{At: 0, Fn: record},                      // heap (current tick)
+	}
+	if err := k.ScheduleBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 4 {
+		t.Fatalf("pending=%d, want 4", k.Pending())
+	}
+	k.Run()
+	want := []Time{0, 2 * time.Millisecond, 2 * time.Millisecond, 300 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}
