@@ -9,6 +9,8 @@
 //	mcsim -list                                # enumerate registered scenario kinds
 //	mcsim -example [-kind faas]                # print an example document and exit
 //	mcsim -scenario base.json -sweep grid.json # sweep base over a parameter grid
+//	mcsim -scenario s.json -export-trace w.mcw # export the executed workload
+//	mcsim -scenario s.json -export-csv out/    # per-cell CSVs for figure pipelines
 //
 // A scenario document is a JSON object whose "kind" field selects the
 // registered scenario ("datacenter", "faas", "gaming", "banking", "graph",
@@ -22,6 +24,15 @@
 // value lists, e.g. {"/machines": [8, 16]}), composes it with the -scenario
 // document as the base, and runs the cross product — per-cell derived
 // seeds, -parallel workers, one combined report.
+//
+// -export-trace writes the workload the run executed (trace-capable kinds
+// only) through the trace format registry; the format resolves like
+// everywhere else — explicit -trace-format, else the file extension, else
+// gwf. Export to .mcw (the exact native format) and feeding the file back
+// through the document's workload.trace field replays the run to a
+// byte-identical result. -export-csv writes one experiments-style CSV per
+// sweep cell, in grid order, into the given directory (a plain run writes
+// a single cell).
 package main
 
 import (
@@ -30,9 +41,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 
+	"mcs/internal/experiments"
 	"mcs/internal/opendc"
 	"mcs/internal/scenario"
+	"mcs/internal/trace"
 
 	// Ecosystem packages register their scenarios on import.
 	_ "mcs/internal/autoscale"
@@ -73,6 +88,9 @@ func run(args []string, out, status io.Writer) error {
 		example      = fs.Bool("example", false, "print an example scenario and exit")
 		sweepPath    = fs.String("sweep", "", "path to a parameter-grid JSON; sweeps the -scenario document over it")
 		parallel     = fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		exportTrace  = fs.String("export-trace", "", "write the executed workload to this trace file")
+		traceFormat  = fs.String("trace-format", "", "trace format for -export-trace (default: by extension, else gwf; use .mcw or -trace-format mcw for exact replay)")
+		exportCSV    = fs.String("export-csv", "", "write one CSV per result cell into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,15 +129,87 @@ func run(args []string, out, status io.Writer) error {
 			return err
 		}
 	}
-	res, err := scenario.RunDocument(raw)
+	env, err := scenario.ParseEnvelope(raw)
+	if err != nil {
+		return err
+	}
+	s, err := scenario.New(env.Kind, raw)
+	if err != nil {
+		return err
+	}
+	// Check trace capability before the run, which may take hours: the
+	// workload is materialized at Configure, so the capability (and the
+	// export itself) never depends on having run.
+	var wp scenario.WorkloadProvider
+	if *exportTrace != "" {
+		var ok bool
+		if wp, ok = s.(scenario.WorkloadProvider); !ok {
+			return fmt.Errorf("scenario %q does not expose a workload trace (trace-capable kinds only)", env.Kind)
+		}
+	}
+	res, err := scenario.RunScenario(s, env.Seed)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(status, "mcsim: %s seed=%d: %d events in %v\n",
 		res.Scenario, res.Seed, res.Events, res.WallClock.Round(res.WallClock/100+1))
+	if wp != nil {
+		w, err := wp.SourceWorkload()
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteFile(*exportTrace, *traceFormat, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "mcsim: exported %d jobs to %s\n", len(w.Jobs), *exportTrace)
+	}
+	if *exportCSV != "" {
+		n, err := writeCellCSVs(*exportCSV, res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "mcsim: wrote %d cell CSVs to %s\n", n, *exportCSV)
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// writeCellCSVs writes one experiments-style CSV per result cell into dir,
+// named cell-0000.csv, cell-0001.csv, ... in deterministic grid order. A
+// result without cells (a plain run) is written as its own single cell.
+func writeCellCSVs(dir string, res *scenario.Result) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	cells := res.Cells
+	if len(cells) == 0 {
+		cells = []*scenario.Result{res}
+	}
+	for i, cell := range cells {
+		key := cell.Labels["cell"]
+		if key == "" {
+			key = cell.Scenario
+		}
+		rep := &experiments.Report{Columns: []string{"cell", "metric", "value"}}
+		for _, name := range cell.MetricNames() {
+			rep.Rows = append(rep.Rows, []string{
+				key, name, strconv.FormatFloat(cell.Metrics[name], 'g', -1, 64),
+			})
+		}
+		file, err := os.Create(filepath.Join(dir, fmt.Sprintf("cell-%04d.csv", i)))
+		if err != nil {
+			return i, err
+		}
+		if err := rep.FprintCSV(file); err != nil {
+			file.Close()
+			return i, err
+		}
+		if err := file.Close(); err != nil {
+			return i, err
+		}
+	}
+	return len(cells), nil
 }
 
 // composeSweep wraps a base scenario document and a grid file into a "sweep"

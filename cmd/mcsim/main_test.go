@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -276,5 +277,113 @@ func TestFailureModelSelection(t *testing.T) {
 	}
 	if sc2.Failures == nil {
 		t.Fatal("correlated failures not enabled")
+	}
+}
+
+func TestExportTraceReplaysByteIdentical(t *testing.T) {
+	// The CLI round trip behind the trace smoke job: run synthetic with
+	// -export-trace, rerun from the export, diff result bytes.
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "s.json")
+	tracePath := filepath.Join(dir, "w.mcw")
+	replayPath := filepath.Join(dir, "replay.json")
+	if err := os.WriteFile(scenarioPath, []byte(`{
+		"kind": "faas", "invocations": 300, "meanGapSeconds": 2,
+		"keepWarm": 1, "seed": 7
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var synthetic strings.Builder
+	if err := run([]string{"-scenario", scenarioPath, "-export-trace", tracePath}, &synthetic, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(replayPath, []byte(fmt.Sprintf(`{
+		"kind": "faas", "workload": {"trace": %q},
+		"keepWarm": 1, "seed": 7
+	}`, tracePath)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-scenario", replayPath}, &replayed, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if synthetic.String() != replayed.String() {
+		t.Errorf("replay differs from synthetic run:\n%s\nvs\n%s", synthetic.String(), replayed.String())
+	}
+}
+
+func TestExportTraceRejectsNonCapableKind(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(scenarioPath, []byte(`{"kind": "banking", "transactions": 50, "seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", scenarioPath, "-export-trace", filepath.Join(dir, "w.mcw")}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "does not expose a workload trace") {
+		t.Errorf("err = %v, want trace-capability error", err)
+	}
+}
+
+func TestExportCSVWritesCellsInGridOrder(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "s.json")
+	csvDir := filepath.Join(dir, "cells")
+	if err := os.WriteFile(scenarioPath, []byte(`{
+		"kind": "sweep", "seed": 17,
+		"base": {"kind": "banking", "transactions": 100},
+		"grid": {"/discipline": ["edf", "fcfs"], "/instantShare": [0.1, 0.5]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d files, want 4 cells", len(entries))
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("cell-%04d.csv", i); e.Name() != want {
+			t.Errorf("file %d named %s, want %s", i, e.Name(), want)
+		}
+	}
+	// Grid order: the first cell is the first assignment of the sorted
+	// paths (discipline=edf, instantShare=0.1), and rows are CSV records
+	// with the cell key, metric name, and value.
+	data, err := os.ReadFile(filepath.Join(csvDir, "cell-0000.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "cell,metric,value\n") {
+		t.Errorf("missing CSV header:\n%s", text)
+	}
+	if !strings.Contains(text, "edf") || !strings.Contains(text, "0.1") {
+		t.Errorf("first cell is not the first grid assignment:\n%s", text)
+	}
+	if !strings.Contains(text, "completed") {
+		t.Errorf("metrics missing from CSV:\n%s", text)
+	}
+}
+
+func TestExportCSVPlainRunWritesOneCell(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "s.json")
+	csvDir := filepath.Join(dir, "cells")
+	if err := os.WriteFile(scenarioPath, []byte(`{"kind": "banking", "transactions": 60, "seed": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cell-0000.csv" {
+		t.Fatalf("plain run wrote %v, want one cell-0000.csv", entries)
 	}
 }

@@ -1,17 +1,21 @@
-// Command mcstrace generates and inspects GWA-style workload traces (paper
-// ref [139], the Grid Workloads Archive).
+// Command mcstrace generates, inspects, and converts workload traces
+// (paper ref [139], the Grid Workloads Archive).
 //
 // Usage:
 //
 //	mcstrace gen -jobs 500 -pattern bursty -shape dag -out trace.gwf
 //	mcstrace info trace.gwf
+//	mcstrace convert -in trace.gwf -out trace.mcw
+//	mcstrace formats
 //
 // mcstrace sits below the scenario registry on purpose: it produces and
 // analyzes trace files, it never runs a simulation, so there is no scenario
 // document to dispatch. It shares the registry's workload vocabulary
-// (workload.ArrivalByName/ShapeByName), and its output plugs back into the
-// registry through any scenario that accepts a trace (e.g. the datacenter
-// document's workload.trace field, run by cmd/mcsim).
+// (workload.ArrivalByName/ShapeByName) and the trace format registry
+// (internal/trace): every subcommand resolves formats by -format name or
+// file extension, so its output plugs back into any trace-capable scenario
+// (the workload.trace/workload.format fields of datacenter, faas, and
+// gaming documents, run by cmd/mcsim).
 package main
 
 import (
@@ -35,15 +39,19 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mcstrace <gen|info> [flags]")
+		return fmt.Errorf("usage: mcstrace <gen|info|convert|formats> [flags]")
 	}
 	switch args[0] {
 	case "gen":
 		return runGen(args[1:], out)
 	case "info":
 		return runInfo(args[1:], out)
+	case "convert":
+		return runConvert(args[1:], out)
+	case "formats":
+		return runFormats(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, info, convert, or formats)", args[0])
 	}
 }
 
@@ -55,6 +63,7 @@ func runGen(args []string, out io.Writer) error {
 		shape   = fs.String("shape", "bag", "job shape: bag, chain, forkjoin, dag")
 		seed    = fs.Int64("seed", 1, "generator seed")
 		outPath = fs.String("out", "", "output file (default stdout)")
+		format  = fs.String("format", "", "trace format (default: by -out extension, else gwf)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +76,15 @@ func runGen(args []string, out io.Writer) error {
 	if cfg.Shape, err = workload.ShapeByName(*shape); err != nil {
 		return err
 	}
-	w, err := workload.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	src := workload.Synthetic{
+		Seed: *seed,
+		Gen:  func(r *rand.Rand) (*workload.Workload, error) { return workload.Generate(cfg, r) },
+	}
+	w, err := src.Load()
+	if err != nil {
+		return err
+	}
+	f, err := trace.ResolveFormat(*format, *outPath)
 	if err != nil {
 		return err
 	}
@@ -80,23 +97,19 @@ func runGen(args []string, out io.Writer) error {
 		defer file.Close()
 		dst = file
 	}
-	return trace.Write(dst, w)
+	return f.Write(dst, w)
 }
 
 func runInfo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	format := fs.String("format", "", "trace format (default: by extension, else gwf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: mcstrace info <trace.gwf>")
+		return fmt.Errorf("usage: mcstrace info [-format gwf] <trace-file>")
 	}
-	file, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer file.Close()
-	w, err := trace.Read(file)
+	w, err := trace.File{Path: fs.Arg(0), Format: *format}.Load()
 	if err != nil {
 		return err
 	}
@@ -111,5 +124,41 @@ func runInfo(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "burstiness:      %.3f\n", s.Burstiness)
 	fmt.Fprintf(out, "top-user share:  %.3f\n", s.TopUserShare)
 	fmt.Fprintf(out, "vicissitude:     %.3f\n", s.Vicissitude)
+	return nil
+}
+
+func runConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	var (
+		inPath  = fs.String("in", "", "input trace file")
+		outPath = fs.String("out", "", "output trace file")
+		from    = fs.String("from", "", "input format (default: by extension, else gwf)")
+		to      = fs.String("to", "", "output format (default: by extension, else gwf)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" || *outPath == "" {
+		return fmt.Errorf("usage: mcstrace convert -in trace.gwf -out trace.mcw")
+	}
+	w, err := trace.File{Path: *inPath, Format: *from}.Load()
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(*outPath, *to, w); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "converted %d jobs: %s -> %s\n", len(w.Jobs), *inPath, *outPath)
+	return nil
+}
+
+func runFormats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("formats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range trace.Formats() {
+		fmt.Fprintln(out, name)
+	}
 	return nil
 }

@@ -63,3 +63,68 @@ func TestBadInvocations(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatsSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"formats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"gwf", "mcw"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formats output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConvertBetweenFormats(t *testing.T) {
+	dir := t.TempDir()
+	gwf := filepath.Join(dir, "t.gwf")
+	mcw := filepath.Join(dir, "t.mcw")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "15", "-out", gwf}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"convert", "-in", gwf, "-out", mcw}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "converted 15 jobs") {
+		t.Errorf("convert output: %s", out.String())
+	}
+	// The converted trace is a readable mcw file with the same shape.
+	out.Reset()
+	if err := run([]string{"info", mcw}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "15") {
+		t.Errorf("info on converted trace:\n%s", out.String())
+	}
+	data, err := os.ReadFile(mcw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#mcw v1\n") {
+		t.Errorf("converted file is not mcw:\n%.80s", data)
+	}
+}
+
+func TestGenNativeFormatToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "3", "-format", "mcw"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "#mcw v1\n") {
+		t.Errorf("-format mcw ignored:\n%.80s", out.String())
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "3", "-format", "parquet"}, &out); err == nil {
+		t.Error("unknown gen format accepted")
+	}
+	if err := run([]string{"convert", "-in", "x", "-out", "y", "-from", "parquet"}, &out); err == nil {
+		t.Error("unknown convert format accepted")
+	}
+}

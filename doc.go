@@ -26,12 +26,21 @@
 // Every domain is a registered scenario kind — datacenter, faas, gaming,
 // banking, graph, federation, autoscale, social — and the "sweep"
 // meta-scenario turns any of them into an experiment campaign: one base
-// document crossed over a parameter grid, run on a worker pool with
+// document crossed over a parameter grid (array indices included, with
+// repetitions summarized as mean ± 95% CI), run on a worker pool with
 // derived per-cell seeds and one combined, byte-deterministic report (the
 // OpenDC-style what-if portfolio).
 //
+// Workloads flow through a source layer (internal/workload Source:
+// synthetic, inline, or a trace file resolved by the internal/trace
+// format registry — GWA-style gwf plus the exact native mcw), so the
+// trace-capable kinds (datacenter, faas, gaming) replay an exported
+// trace to a byte-identical result; see examples/tracereplay and
+// `mcsim -export-trace`.
+//
 // Start with examples/quickstart, run any registered scenario with
-// cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns), run
-// experiments with cmd/mcsbench, and see DESIGN.md for the architecture
-// and system inventory.
+// cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns,
+// -export-trace/-export-csv write replayable and plottable artifacts),
+// run experiments with cmd/mcsbench, and see DESIGN.md for the
+// architecture and system inventory.
 package mcs

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -82,6 +83,23 @@ func (r *Report) String() string {
 	var sb strings.Builder
 	_ = r.Fprint(&sb)
 	return sb.String()
+}
+
+// FprintCSV renders the report's table as CSV — the machine-readable form
+// figure pipelines consume (one header row of Columns, then Rows). ID,
+// Title, and Notes are presentation-only and are not emitted.
+func (r *Report) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Options tunes experiment execution.

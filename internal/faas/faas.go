@@ -51,6 +51,11 @@ type Config struct {
 type Invocation struct {
 	Function string
 	At       time.Duration
+	// Exec, when positive, is the predetermined execution duration of this
+	// call — the trace-replay path, where service demands travel with the
+	// workload. Zero draws from the function's Exec distribution at
+	// execution time (the legacy platform-side path).
+	Exec time.Duration
 }
 
 // Record is the outcome of one invocation.
@@ -116,6 +121,7 @@ type instance struct {
 
 type pendingCall struct {
 	submit sim.Time
+	exec   time.Duration
 	done   func(rec Record)
 }
 
@@ -173,7 +179,7 @@ func (p *Platform) Invoke(inv Invocation, done func(rec Record)) error {
 	}
 	_, err := p.k.ScheduleAt(inv.At, func(now sim.Time) {
 		p.layerEvents[LayerComposition]++
-		p.dispatch(inv.Function, &pendingCall{submit: now, done: done})
+		p.dispatch(inv.Function, &pendingCall{submit: now, exec: inv.Exec, done: done})
 	})
 	return err
 }
@@ -217,11 +223,15 @@ func (p *Platform) execute(st *fnState, inst *instance, call *pendingCall, cold 
 	p.layerEvents[LayerResources]++
 	st.busy++
 	start := p.k.Now()
-	execSec := st.fn.Exec.Sample(p.k.Rand())
-	if execSec < 0.0001 {
-		execSec = 0.0001
+	exec := call.exec
+	if exec <= 0 {
+		execSec := st.fn.Exec.Sample(p.k.Rand())
+		if execSec < 0.0001 {
+			execSec = 0.0001
+		}
+		exec = time.Duration(execSec * float64(time.Second))
 	}
-	p.k.AfterFunc(time.Duration(execSec*float64(time.Second)), func(now sim.Time) {
+	p.k.AfterFunc(exec, func(now sim.Time) {
 		st.busy--
 		rec := Record{
 			Function: st.fn.Name,

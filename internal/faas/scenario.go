@@ -3,18 +3,28 @@ package faas
 // This file adapts the FaaS platform to the scenario registry
 // (internal/scenario), registered under "faas": a JSON schema for the
 // function catalog and the invocation stream, and a thin scenario.Scenario
-// implementation that generates Poisson invocations from the kernel's
-// deterministic RNG and drains the platform.
+// implementation.
+//
+// The invocation stream is a first-class workload (one single-task job per
+// call: user = function name, submit = arrival, runtime = execution
+// demand), materialized at Configure through the workload-source layer —
+// synthesized from the document seed, or replayed from a trace file named
+// in the document. Either way the platform consumes the same precomputed
+// stream, so a trace exported from a synthetic run replays to a
+// byte-identical result.
 
 import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"mcs/internal/scenario"
 	"mcs/internal/sim"
 	"mcs/internal/stats"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
 )
 
 // FunctionJSON declares one deployable function in the scenario document.
@@ -36,6 +46,11 @@ type ScenarioJSON struct {
 	// functions (uniform choice) with MeanGapSeconds between arrivals.
 	Invocations    int     `json:"invocations"`
 	MeanGapSeconds float64 `json:"meanGapSeconds"`
+	// Workload selects the invocation source: a trace file replays through
+	// the format registry (each task is one call of the function named by
+	// its job's user, with the task runtime as execution demand); empty
+	// synthesizes from Invocations/MeanGapSeconds and the document seed.
+	Workload trace.Ref `json:"workload"`
 	// Platform operational knobs (zero values take platform defaults).
 	KeepWarm           int     `json:"keepWarm"`
 	MaxInstances       int     `json:"maxInstances"`
@@ -58,9 +73,7 @@ const ExampleJSON = `{
 type faasScenario struct {
 	cfg       Config
 	functions []Function
-	names     []string
-	count     int
-	meanGap   time.Duration
+	w         *workload.Workload
 }
 
 func init() {
@@ -72,6 +85,14 @@ func (f *faasScenario) Name() string { return "faas" }
 
 // Example implements scenario.Exampler.
 func (f *faasScenario) Example() string { return ExampleJSON }
+
+// SourceWorkload implements scenario.WorkloadProvider.
+func (f *faasScenario) SourceWorkload() (*workload.Workload, error) {
+	if f.w == nil {
+		return nil, fmt.Errorf("faas: not configured")
+	}
+	return f.w, nil
+}
 
 // Configure implements scenario.Scenario.
 func (f *faasScenario) Configure(raw json.RawMessage) error {
@@ -87,6 +108,7 @@ func (f *faasScenario) Configure(raw json.RawMessage) error {
 			{Name: "store", MeanSeconds: 0.08, ColdStartSeconds: 1, MemoryMB: 128},
 		}
 	}
+	var names []string
 	for _, fn := range cfg.Functions {
 		if fn.Name == "" {
 			return fmt.Errorf("faas scenario: function with empty name")
@@ -105,23 +127,64 @@ func (f *faasScenario) Configure(raw json.RawMessage) error {
 			ColdStart: time.Duration(fn.ColdStartSeconds * float64(time.Second)),
 			MemoryMB:  fn.MemoryMB,
 		})
-		f.names = append(f.names, fn.Name)
+		names = append(names, fn.Name)
 	}
-	f.count = cfg.Invocations
-	if f.count <= 0 {
-		f.count = 1000
-	}
-	gap := cfg.MeanGapSeconds
-	if gap <= 0 {
-		gap = 1
-	}
-	f.meanGap = time.Duration(gap * float64(time.Second))
 	f.cfg = Config{
 		MaxInstances: cfg.MaxInstances,
 		KeepWarm:     cfg.KeepWarm,
 		IdleTimeout:  time.Duration(cfg.IdleTimeoutSeconds * float64(time.Second)),
 	}
+
+	count := cfg.Invocations
+	if count <= 0 {
+		count = 1000
+	}
+	gap := cfg.MeanGapSeconds
+	if gap <= 0 {
+		gap = 1
+	}
+	meanGap := time.Duration(gap * float64(time.Second))
+	functions := f.functions
+	src := trace.SourceFor(cfg.Workload, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
+		return generateInvocations(functions, names, count, meanGap, r)
+	})
+	w, err := src.Load()
+	if err != nil {
+		return err
+	}
+	f.w = w
 	return nil
+}
+
+// generateInvocations synthesizes the invocation workload: Poisson arrivals
+// over a uniform function choice, execution demand drawn per call from the
+// function's distribution — sampled here, at workload time, so the demand
+// travels with the trace instead of being re-drawn at execution time.
+func generateInvocations(functions []Function, names []string, count int, meanGap time.Duration, r *rand.Rand) (*workload.Workload, error) {
+	w := &workload.Workload{Jobs: make([]workload.Job, 0, count)}
+	var at time.Duration
+	for i := 0; i < count; i++ {
+		at += time.Duration(r.ExpFloat64() * float64(meanGap))
+		fn := &functions[r.Intn(len(names))]
+		execSec := fn.Exec.Sample(r)
+		if execSec < 0.0001 {
+			execSec = 0.0001
+		}
+		id := workload.JobID(i + 1)
+		w.Jobs = append(w.Jobs, workload.Job{
+			ID:     id,
+			User:   fn.Name,
+			Submit: at,
+			Tasks: []workload.Task{{
+				ID:       workload.TaskID(i + 1),
+				Job:      id,
+				Cores:    1,
+				MemoryMB: fn.MemoryMB,
+				Runtime:  time.Duration(execSec * float64(time.Second)),
+			}},
+		})
+	}
+	return w, nil
 }
 
 // Run implements scenario.Scenario.
@@ -130,13 +193,13 @@ func (f *faasScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := k.Rand()
-	var at time.Duration
-	for i := 0; i < f.count; i++ {
-		at += time.Duration(r.ExpFloat64() * float64(f.meanGap))
-		inv := Invocation{Function: f.names[r.Intn(len(f.names))], At: at}
-		if err := p.Invoke(inv, nil); err != nil {
-			return nil, err
+	for i := range f.w.Jobs {
+		j := &f.w.Jobs[i]
+		for _, t := range j.Tasks {
+			inv := Invocation{Function: j.User, At: j.Submit, Exec: t.Runtime}
+			if err := p.Invoke(inv, nil); err != nil {
+				return nil, err
+			}
 		}
 	}
 	res := p.Drain()

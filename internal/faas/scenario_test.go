@@ -2,10 +2,16 @@ package faas_test
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"mcs/internal/faas"
 	"mcs/internal/scenario"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
 )
 
 func TestFaasScenarioExampleRuns(t *testing.T) {
@@ -95,6 +101,55 @@ func TestFaasScenarioRejectsBadConfig(t *testing.T) {
 	} {
 		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFaasScenarioRejectsUnknownTraceFunction(t *testing.T) {
+	// A trace invoking a function absent from the catalog must fail the
+	// run, not silently drop calls.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.mcw")
+	w := &workload.Workload{Jobs: []workload.Job{{
+		ID: 1, User: "not-in-catalog", Submit: time.Second,
+		Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, Runtime: time.Second}},
+	}}}
+	if err := trace.WriteFile(path, trace.FormatMCW, w); err != nil {
+		t.Fatal(err)
+	}
+	doc := fmt.Sprintf(`{"kind": "faas", "workload": {"trace": %q}, "seed": 1}`, path)
+	_, err := scenario.Run("faas", 1, json.RawMessage(doc))
+	if err == nil {
+		t.Fatal("unknown trace function accepted")
+	}
+	if !errors.Is(err, faas.ErrUnknownFunction) {
+		t.Errorf("err = %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestFaasScenarioExportsInvocationWorkload(t *testing.T) {
+	s, err := scenario.New("faas", json.RawMessage(`{"invocations": 50, "meanGapSeconds": 1, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.(scenario.WorkloadProvider).SourceWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 50 {
+		t.Fatalf("exported %d jobs, want 50", len(w.Jobs))
+	}
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if len(j.Tasks) != 1 || j.Tasks[0].Runtime <= 0 {
+			t.Fatalf("job %d: malformed invocation %+v", j.ID, j)
+		}
+		// Execution demand travels with the workload: the catalog's
+		// default functions are the only valid names.
+		switch j.User {
+		case "ingest", "resize", "store":
+		default:
+			t.Fatalf("job %d: unexpected function %q", j.ID, j.User)
 		}
 	}
 }

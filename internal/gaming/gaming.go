@@ -11,11 +11,13 @@ package gaming
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"mcs/internal/sim"
 	"mcs/internal/social"
 	"mcs/internal/stats"
+	"mcs/internal/workload"
 )
 
 // WorldConfig parameterizes a virtual-world simulation.
@@ -39,7 +41,14 @@ type WorldConfig struct {
 	MoveEveryMinutes float64
 	// Horizon is the simulated duration.
 	Horizon time.Duration
-	Seed    int64
+	// Workload, when set, is the player-session stream to replay: one job
+	// per player (submit = arrival, first task runtime = session length).
+	// Nil synthesizes sessions from ArrivalPerHour/DiurnalAmp/
+	// SessionMinutes with an RNG seeded by Seed. Zone choices and
+	// movement stay simulation dynamics drawn from the kernel RNG, so a
+	// replayed workload reproduces a synthetic run exactly.
+	Workload *workload.Workload
+	Seed     int64
 }
 
 // WorldResult aggregates a virtual-world run.
@@ -74,7 +83,8 @@ func RunWorld(cfg WorldConfig) (*WorldResult, error) {
 
 // RunWorldOn simulates the virtual world on a caller-provided kernel — the
 // entry point used by the scenario registry, where the runner owns the
-// kernel. The config's Seed field is ignored; the kernel's seed governs.
+// kernel. The kernel's seed governs the world dynamics (zone choices,
+// movement); cfg.Seed only seeds session synthesis when cfg.Workload is nil.
 func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	if cfg.Zones <= 0 || cfg.ZoneCapacity <= 0 {
 		return nil, fmt.Errorf("gaming: zones=%d capacity=%d", cfg.Zones, cfg.ZoneCapacity)
@@ -87,6 +97,14 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	}
 	if cfg.MoveEveryMinutes <= 0 {
 		cfg.MoveEveryMinutes = 10
+	}
+	sessions := cfg.Workload
+	if sessions == nil {
+		var err error
+		sessions, err = GenerateSessions(cfg, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &WorldResult{
 		ConcurrentSeries: stats.NewTimeSeries(),
@@ -177,8 +195,6 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	}
 	monitor := sim.NewTicker(k, time.Minute, sample)
 
-	arrivals := &diurnalArrivals{base: cfg.ArrivalPerHour, amp: cfg.DiurnalAmp}
-	var scheduleArrival func(now sim.Time)
 	var movePlayer func(p *player) sim.Handler
 	movePlayer = func(p *player) sim.Handler {
 		return func(now sim.Time) {
@@ -190,12 +206,18 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
 		}
 	}
-	scheduleArrival = func(now sim.Time) {
-		gap := arrivals.next(k)
-		if now+gap >= sim.Time(cfg.Horizon) {
-			return
+	// Replay the session workload: every player whose arrival falls inside
+	// the horizon joins at their submit time for their recorded session
+	// length. Zone entry, movement, and co-presence sampling draw from the
+	// kernel RNG in arrival order — the same consumption sequence whether
+	// the workload was synthesized or read from a trace.
+	for i := range sessions.Jobs {
+		j := &sessions.Jobs[i]
+		if j.Submit >= cfg.Horizon || len(j.Tasks) == 0 {
+			continue
 		}
-		k.AfterFunc(gap, func(now sim.Time) {
+		session := j.Tasks[0].Runtime
+		if _, err := k.ScheduleAt(sim.Time(j.Submit), func(now sim.Time) {
 			nextID++
 			p := &player{id: nextID}
 			res.PlayersServed++
@@ -204,17 +226,16 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 				res.PeakConcurrent = concurrent
 			}
 			enter(p, k.Rand().Intn(cfg.Zones), now)
-			sessionMin := cfg.SessionMinutes.Sample(k.Rand())
-			k.AfterFunc(time.Duration(sessionMin*float64(time.Minute)), func(sim.Time) {
+			k.AfterFunc(session, func(sim.Time) {
 				leaveZone(p)
 				p.zone = -1
 				concurrent--
 			})
 			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
-			scheduleArrival(now)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	scheduleArrival(0)
 	k.SetMaxEvents(20_000_000)
 	k.RunUntil(sim.Time(cfg.Horizon))
 	monitor.Stop()
@@ -246,23 +267,66 @@ func expDuration(k *sim.Kernel, meanMinutes float64) time.Duration {
 	return time.Duration(k.Rand().ExpFloat64() * meanMinutes * float64(time.Minute))
 }
 
+// GenerateSessions synthesizes the player-session workload: diurnal
+// thinned-Poisson arrivals over the horizon, session lengths drawn from
+// SessionMinutes. One job per player, ordered by arrival; the workload
+// slots straight into WorldConfig.Workload or a trace writer.
+func GenerateSessions(cfg WorldConfig, r *rand.Rand) (*workload.Workload, error) {
+	if cfg.ArrivalPerHour <= 0 {
+		return nil, fmt.Errorf("gaming: arrival rate %v", cfg.ArrivalPerHour)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("gaming: horizon %v", cfg.Horizon)
+	}
+	sessionDist := cfg.SessionMinutes
+	if sessionDist == nil {
+		sessionDist = stats.Truncate{D: stats.LogNormal{Mu: 3.4, Sigma: 0.8}, Lo: 5, Hi: 480}
+	}
+	arrivals := &diurnalArrivals{base: cfg.ArrivalPerHour, amp: cfg.DiurnalAmp}
+	w := &workload.Workload{}
+	var clock time.Duration
+	for i := 1; ; i++ {
+		clock += arrivals.next(r)
+		if clock >= cfg.Horizon {
+			break
+		}
+		sessionMin := sessionDist.Sample(r)
+		if sessionMin <= 0 {
+			sessionMin = 1
+		}
+		id := workload.JobID(i)
+		w.Jobs = append(w.Jobs, workload.Job{
+			ID:     id,
+			User:   playerName(i),
+			Submit: clock,
+			Tasks: []workload.Task{{
+				ID:      workload.TaskID(i),
+				Job:     id,
+				Cores:   1,
+				Runtime: time.Duration(sessionMin * float64(time.Minute)),
+			}},
+		})
+	}
+	return w, nil
+}
+
 type diurnalArrivals struct {
 	base, amp float64
 	now       sim.Time
 }
 
-func (d *diurnalArrivals) next(k *sim.Kernel) time.Duration {
+func (d *diurnalArrivals) next(r *rand.Rand) time.Duration {
 	peak := d.base * (1 + d.amp)
 	if peak <= 0 {
 		return time.Hour
 	}
 	start := d.now
 	for {
-		gap := time.Duration(k.Rand().ExpFloat64() / peak * float64(time.Hour))
+		gap := time.Duration(r.ExpFloat64() / peak * float64(time.Hour))
 		d.now += gap
 		hours := d.now.Hours()
 		rate := d.base * (1 + d.amp*math.Sin(2*math.Pi*hours/24))
-		if k.Rand().Float64() <= rate/peak {
+		if r.Float64() <= rate/peak {
 			return d.now - start
 		}
 	}

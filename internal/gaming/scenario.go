@@ -3,14 +3,24 @@ package gaming
 // This file adapts the virtual-world simulation to the scenario registry
 // (internal/scenario), registered under "gaming": a JSON schema for the
 // world parameters and a thin scenario.Scenario implementation.
+//
+// The player-session stream is a first-class workload (one job per player:
+// submit = arrival, first task runtime = session length), materialized at
+// Configure through the workload-source layer — synthesized from the
+// document seed, or replayed from a trace file named in the document. Zone
+// choices and movement remain world dynamics drawn from the kernel RNG, so
+// a trace exported from a synthetic run replays to a byte-identical result.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"mcs/internal/scenario"
 	"mcs/internal/sim"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
 )
 
 // ScenarioJSON is the JSON schema of the "gaming" scenario.
@@ -22,7 +32,11 @@ type ScenarioJSON struct {
 	DiurnalAmp        float64 `json:"diurnalAmp"`
 	MoveEveryMinutes  float64 `json:"moveEveryMinutes"`
 	HorizonHours      float64 `json:"horizonHours"`
-	Seed              int64   `json:"seed"`
+	// Workload selects the session source: a trace file replays through
+	// the format registry; empty synthesizes diurnal arrivals from the
+	// document seed.
+	Workload trace.Ref `json:"workload"`
+	Seed     int64     `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run gaming scenario document.
@@ -46,6 +60,14 @@ func (g *gamingScenario) Name() string { return "gaming" }
 
 // Example implements scenario.Exampler.
 func (g *gamingScenario) Example() string { return ExampleJSON }
+
+// SourceWorkload implements scenario.WorkloadProvider.
+func (g *gamingScenario) SourceWorkload() (*workload.Workload, error) {
+	if g.cfg.Workload == nil {
+		return nil, fmt.Errorf("gaming: not configured")
+	}
+	return g.cfg.Workload, nil
+}
 
 // Configure implements scenario.Scenario.
 func (g *gamingScenario) Configure(raw json.RawMessage) error {
@@ -76,7 +98,16 @@ func (g *gamingScenario) Configure(raw json.RawMessage) error {
 		DiurnalAmp:        cfg.DiurnalAmp,
 		MoveEveryMinutes:  cfg.MoveEveryMinutes,
 		Horizon:           time.Duration(cfg.HorizonHours * float64(time.Hour)),
+		Seed:              cfg.Seed,
 	}
+	world := g.cfg
+	src := trace.SourceFor(cfg.Workload, cfg.Seed,
+		func(r *rand.Rand) (*workload.Workload, error) { return GenerateSessions(world, r) })
+	w, err := src.Load()
+	if err != nil {
+		return err
+	}
+	g.cfg.Workload = w
 	return nil
 }
 
@@ -95,5 +126,6 @@ func (g *gamingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 			"overloadTimeShare": res.OverloadTimeShare,
 			"socialTies":        float64(res.Interactions.NumEdges()),
 		},
+		Labels: map[string]string{"players": fmt.Sprintf("%d", len(g.cfg.Workload.Jobs))},
 	}, nil
 }

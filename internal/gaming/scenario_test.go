@@ -2,10 +2,15 @@ package gaming_test
 
 import (
 	"encoding/json"
+	"fmt"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"mcs/internal/gaming"
 	"mcs/internal/scenario"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
 )
 
 func TestGamingScenarioExampleRuns(t *testing.T) {
@@ -74,5 +79,59 @@ func TestGamingScenarioRejectsBadConfig(t *testing.T) {
 		if _, err := scenario.RunDocument(json.RawMessage(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestGamingScenarioExportsSessionWorkload(t *testing.T) {
+	s, err := scenario.New("gaming", json.RawMessage(`{
+		"zones": 4, "zoneCapacity": 30, "arrivalPerHour": 200,
+		"horizonHours": 2, "seed": 5
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.(scenario.WorkloadProvider).SourceWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	horizon := 2 * time.Hour
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.Submit >= horizon {
+			t.Fatalf("job %d arrives at %v, beyond the horizon", j.ID, j.Submit)
+		}
+		if len(j.Tasks) != 1 || j.Tasks[0].Runtime <= 0 {
+			t.Fatalf("job %d: malformed session %+v", j.ID, j)
+		}
+	}
+}
+
+func TestGamingTraceArrivalsBeyondHorizonAreSkipped(t *testing.T) {
+	// A replayed trace may span more time than the configured horizon;
+	// late arrivals must be ignored, not crash or count as served.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "long.mcw")
+	w := &workload.Workload{Jobs: []workload.Job{
+		{ID: 1, User: "p1", Submit: time.Minute,
+			Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, Runtime: 10 * time.Minute}}},
+		{ID: 2, User: "p2", Submit: 48 * time.Hour,
+			Tasks: []workload.Task{{ID: 2, Job: 2, Cores: 1, Runtime: 10 * time.Minute}}},
+	}}
+	if err := trace.WriteFile(path, trace.FormatMCW, w); err != nil {
+		t.Fatal(err)
+	}
+	doc := fmt.Sprintf(`{
+		"kind": "gaming", "zones": 2, "zoneCapacity": 10,
+		"horizonHours": 1, "workload": {"trace": %q}, "seed": 2
+	}`, path)
+	res, err := scenario.Run("gaming", 2, json.RawMessage(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics["playersServed"]; got != 1 {
+		t.Errorf("playersServed = %v, want 1 (the in-horizon arrival)", got)
 	}
 }

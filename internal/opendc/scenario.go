@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"time"
 
 	"mcs/internal/dcmodel"
@@ -33,7 +32,7 @@ type ScenarioJSON struct {
 		Jobs    int    `json:"jobs"`
 		Pattern string `json:"pattern"`
 		Shape   string `json:"shape"`
-		Trace   string `json:"trace"`
+		trace.Ref
 	} `json:"workload"`
 	Scheduler struct {
 		Queue     string `json:"queue"`
@@ -71,29 +70,13 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 	}
 	cluster := dcmodel.NewHomogeneous("mcsim", cfg.Machines, class, cfg.RackSize)
 
-	var w *workload.Workload
-	if cfg.Workload.Trace != "" {
-		file, err := os.Open(cfg.Workload.Trace)
-		if err != nil {
-			return nil, err
-		}
-		defer file.Close()
-		w, err = trace.Read(file)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		gen := workload.GeneratorConfig{Jobs: cfg.Workload.Jobs}
-		if gen.Arrival, err = workload.ArrivalByName(cfg.Workload.Pattern); err != nil {
-			return nil, err
-		}
-		if gen.Shape, err = workload.ShapeByName(cfg.Workload.Shape); err != nil {
-			return nil, err
-		}
-		w, err = workload.Generate(gen, rand.New(rand.NewSource(cfg.Seed)))
-		if err != nil {
-			return nil, err
-		}
+	src, err := WorkloadSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := src.Load()
+	if err != nil {
+		return nil, err
 	}
 
 	schedCfg, err := SchedulerByNames(cfg.Scheduler.Queue, cfg.Scheduler.Placement, cfg.Scheduler.Mode)
@@ -124,6 +107,23 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 		}
 	}
 	return sc, nil
+}
+
+// WorkloadSource maps the document's workload block to a workload source:
+// a declared trace file replays through the format registry; otherwise a
+// synthetic generator seeded with the document seed synthesizes the
+// workload from the shared pattern/shape vocabulary.
+func WorkloadSource(cfg ScenarioJSON) (workload.Source, error) {
+	gen := workload.GeneratorConfig{Jobs: cfg.Workload.Jobs}
+	var err error
+	if gen.Arrival, err = workload.ArrivalByName(cfg.Workload.Pattern); err != nil {
+		return nil, err
+	}
+	if gen.Shape, err = workload.ShapeByName(cfg.Workload.Shape); err != nil {
+		return nil, err
+	}
+	return trace.SourceFor(cfg.Workload.Ref, cfg.Seed,
+		func(r *rand.Rand) (*workload.Workload, error) { return workload.Generate(gen, r) }), nil
 }
 
 // ClassByName maps a scenario document's "class" field to a machine class.
@@ -202,6 +202,16 @@ func (d *datacenterScenario) Name() string { return "datacenter" }
 
 // Example implements scenario.Exampler.
 func (d *datacenterScenario) Example() string { return ExampleJSON }
+
+// SourceWorkload implements scenario.WorkloadProvider: the workload the
+// configured run executes, exportable as a trace and replayable to a
+// byte-identical result.
+func (d *datacenterScenario) SourceWorkload() (*workload.Workload, error) {
+	if d.sc == nil {
+		return nil, fmt.Errorf("datacenter: not configured")
+	}
+	return d.sc.Workload, nil
+}
 
 // Configure implements scenario.Scenario.
 func (d *datacenterScenario) Configure(raw json.RawMessage) error {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mcs/internal/sim"
+	"mcs/internal/workload"
 )
 
 // Scenario is one runnable workload domain. Implementations are configured
@@ -48,6 +49,16 @@ type Scenario interface {
 // ready-to-run example document (used by `mcsim -example`).
 type Exampler interface {
 	Example() string
+}
+
+// WorkloadProvider is optionally implemented by scenarios whose workload is
+// a first-class workload.Workload — the trace-capable kinds. The returned
+// workload is the one the scenario runs (materialized at Configure, from
+// either a synthetic source or a trace file), so exporting it with a trace
+// writer and replaying the export reproduces the run byte for byte. Used
+// by `mcsim -export-trace`.
+type WorkloadProvider interface {
+	SourceWorkload() (*workload.Workload, error)
 }
 
 // Result is the common envelope every scenario returns. Its JSON encoding is
@@ -132,6 +143,17 @@ func List() []string {
 // stamp the envelope. Scenarios that leave Events zero get the kernel's
 // processed-event count filled in.
 func Run(kind string, seed int64, raw json.RawMessage) (*Result, error) {
+	s, err := New(kind, raw)
+	if err != nil {
+		return nil, err
+	}
+	return RunScenario(s, seed)
+}
+
+// New returns a configured scenario instance for kind. Runners that need
+// the instance after execution (e.g. to export its workload as a trace)
+// use New + RunScenario instead of Run.
+func New(kind string, raw json.RawMessage) (Scenario, error) {
 	factory, ok := Lookup(kind)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown kind %q (registered: %v)", kind, List())
@@ -143,6 +165,13 @@ func Run(kind string, seed int64, raw json.RawMessage) (*Result, error) {
 	if err := s.Configure(raw); err != nil {
 		return nil, fmt.Errorf("scenario %q: configure: %w", kind, err)
 	}
+	return s, nil
+}
+
+// RunScenario executes an already-configured scenario on a fresh kernel
+// seeded with seed and stamps the result envelope.
+func RunScenario(s Scenario, seed int64) (*Result, error) {
+	kind := s.Name()
 	k := sim.New(seed)
 	start := time.Now()
 	res, err := s.Run(k)

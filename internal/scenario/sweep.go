@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -32,9 +33,12 @@ type SweepJSON struct {
 	// Base is the scenario document every cell starts from; its "kind"
 	// selects the swept scenario (nested sweeps are rejected).
 	Base json.RawMessage `json:"base"`
-	// Grid maps JSON-pointer-style paths ("/machines",
-	// "/scheduler/queue") to the list of values to sweep. Intermediate
-	// objects are created as needed; array indexing is not supported.
+	// Grid maps JSON-pointer-style paths ("/machines", "/scheduler/queue",
+	// "/sites/0/clusters/1/count") to the list of values to sweep.
+	// Intermediate objects are created as needed; numeric segments index
+	// existing arrays (out-of-range indices are an error — arrays never
+	// grow). Sweeping "/workload/trace" turns a sweep into a
+	// trace-portfolio campaign.
 	Grid map[string][]json.RawMessage `json:"grid"`
 	// Parallel bounds the worker pool (default GOMAXPROCS). It affects
 	// wall-clock only, never the report bytes.
@@ -194,29 +198,50 @@ func applyCell(base map[string]any, paths []string, idx []int, grid map[string][
 }
 
 // setPointer sets a JSON-pointer-style path ("/a/b" or "a/b") in a document
-// of nested objects, creating intermediate objects as needed.
+// of nested objects and arrays, creating intermediate objects as needed.
+// A segment applied to an array must be a valid index into the existing
+// elements ("/sites/0/machines"); arrays are never grown, so an
+// out-of-range index is a configuration error, reported as such.
 func setPointer(doc map[string]any, path string, val any) error {
 	trimmed := strings.TrimPrefix(path, "/")
 	if trimmed == "" {
 		return fmt.Errorf("sweep: empty grid path")
 	}
 	segs := strings.Split(trimmed, "/")
-	cur := doc
-	for _, seg := range segs[:len(segs)-1] {
-		next, ok := cur[seg]
-		if !ok || next == nil {
-			m := map[string]any{}
-			cur[seg] = m
-			cur = m
-			continue
+	var cur any = doc
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		switch node := cur.(type) {
+		case map[string]any:
+			if last {
+				node[seg] = val
+				return nil
+			}
+			next, ok := node[seg]
+			if !ok || next == nil {
+				m := map[string]any{}
+				node[seg] = m
+				cur = m
+				continue
+			}
+			cur = next
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil {
+				return fmt.Errorf("sweep: path %q: segment %q indexes an array but is not a number", path, seg)
+			}
+			if idx < 0 || idx >= len(node) {
+				return fmt.Errorf("sweep: path %q: index %d out of range for array of %d elements", path, idx, len(node))
+			}
+			if last {
+				node[idx] = val
+				return nil
+			}
+			cur = node[idx]
+		default:
+			return fmt.Errorf("sweep: path %q crosses non-object field %q", path, segs[i-1])
 		}
-		m, ok := next.(map[string]any)
-		if !ok {
-			return fmt.Errorf("sweep: path %q crosses non-object field %q", path, seg)
-		}
-		cur = m
 	}
-	cur[segs[len(segs)-1]] = val
 	return nil
 }
 
@@ -361,7 +386,14 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 	}
 
 	// Cross-cell summary: every metric that appears in any cell gets
-	// mean/min/max over the cells that report it.
+	// mean/min/max over the cells that report it — or, for a campaign with
+	// repetitions, mean ± 95% confidence-interval half-width, the form
+	// EXPERIMENTS-style figures quote. The CI pools variance *within*
+	// assignment groups (cells are in grid order with repetitions
+	// innermost, so each assignment's replicates are contiguous): it
+	// measures replication uncertainty of a grid point's mean, never the
+	// systematic spread between grid points. Values are accumulated in
+	// grid order, so the summary bytes are worker-count-independent.
 	byMetric := map[string][]float64{}
 	var events uint64
 	for _, res := range results {
@@ -371,11 +403,22 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 		}
 	}
 	summary := map[string]float64{"cells": float64(len(results))}
+	reps := s.cfg.Repetitions
 	for name, vals := range byMetric {
 		sm := stats.Summarize(vals)
 		summary[name+".mean"] = sm.Mean
-		summary[name+".min"] = sm.Min
-		summary[name+".max"] = sm.Max
+		if reps > 1 {
+			if len(vals)%reps == 0 {
+				summary[name+".ci95"] = stats.CI95Pooled(vals, len(vals)/reps)
+			} else {
+				// A metric absent from some cells has no group
+				// structure to pool; fall back to the plain CI.
+				summary[name+".ci95"] = stats.CI95(vals)
+			}
+		} else {
+			summary[name+".min"] = sm.Min
+			summary[name+".max"] = sm.Max
+		}
 	}
 	return &Result{
 		Metrics: summary,

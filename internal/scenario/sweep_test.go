@@ -318,3 +318,156 @@ func TestSweepSeedPathWithRepetitionsStaysDistinct(t *testing.T) {
 		seen[c.Seed] = true
 	}
 }
+
+func TestExpandGridArrayIndexPaths(t *testing.T) {
+	// Numeric segments index into existing arrays, to any nesting depth —
+	// the multi-site/multi-cluster documents of the federation kind.
+	cells, err := scenario.ExpandGrid(sweepCfg(t, `{
+		"seed": 2,
+		"base": {"kind": "banking", "sites": [
+			{"clusters": [{"count": 1}, {"count": 2}]},
+			{"name": "b"}
+		]},
+		"grid": {"/sites/0/clusters/1/count": [5, 9]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for i, want := range []float64{5, 9} {
+		var doc map[string]any
+		if err := json.Unmarshal(cells[i].Doc, &doc); err != nil {
+			t.Fatal(err)
+		}
+		sites := doc["sites"].([]any)
+		clusters := sites[0].(map[string]any)["clusters"].([]any)
+		if got := clusters[1].(map[string]any)["count"]; got != want {
+			t.Errorf("cell %d: count = %v, want %v", i, got, want)
+		}
+		// Untouched siblings survive the deep copy and the assignment.
+		if got := clusters[0].(map[string]any)["count"]; got != float64(1) {
+			t.Errorf("cell %d: sibling clobbered: %v", i, got)
+		}
+		if got := sites[1].(map[string]any)["name"]; got != "b" {
+			t.Errorf("cell %d: second site clobbered: %v", i, got)
+		}
+	}
+}
+
+func TestExpandGridArrayIndexErrors(t *testing.T) {
+	base := `{"kind": "banking", "sites": [{"machines": 2}]}`
+	for name, c := range map[string]struct{ grid, wantErr string }{
+		"out of range":     {`{"/sites/3/machines": [4]}`, "out of range"},
+		"negative index":   {`{"/sites/-1/machines": [4]}`, "out of range"},
+		"non-numeric":      {`{"/sites/first/machines": [4]}`, "not a number"},
+		"through a scalar": {`{"/sites/0/machines/deep": [4]}`, "non-object"},
+	} {
+		_, err := scenario.ExpandGrid(sweepCfg(t, fmt.Sprintf(
+			`{"seed": 1, "base": %s, "grid": %s}`, base, c.grid)))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSweepArrayPathEndToEnd(t *testing.T) {
+	// A federation document swept over a per-site machine count: the
+	// array-index path must reach the real adapter and change the result.
+	res, err := scenario.RunDocument(json.RawMessage(`{
+		"kind": "sweep", "seed": 3,
+		"base": {
+			"kind": "federation",
+			"sites": [
+				{"name": "a", "machines": 2, "jobs": 30, "pattern": "bursty"},
+				{"name": "b", "machines": 4}
+			],
+			"policy": "least-loaded"
+		},
+		"grid": {"/sites/0/machines": [1, 8]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	a, b := res.Cells[0].Metrics, res.Cells[1].Metrics
+	if fmt.Sprint(a) == fmt.Sprint(b) {
+		t.Error("sweeping /sites/0/machines changed nothing")
+	}
+}
+
+func TestSweepRepetitionSummaryEmitsCI(t *testing.T) {
+	run := func(doc string) *scenario.Result {
+		res, err := scenario.RunDocument(json.RawMessage(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// repetitions > 1: mean ± 95% CI half-width, no bare extrema.
+	reps := run(`{
+		"kind": "sweep", "seed": 6, "repetitions": 4,
+		"base": {"kind": "banking", "transactions": 150},
+		"grid": {"/discipline": ["edf", "fcfs"]}
+	}`)
+	if _, ok := reps.Metrics["meanLatencySeconds.mean"]; !ok {
+		t.Error("repetitions summary missing .mean")
+	}
+	if _, ok := reps.Metrics["meanLatencySeconds.ci95"]; !ok {
+		t.Errorf("repetitions summary missing .ci95 (have %v)", reps.MetricNames())
+	}
+	if ci := reps.Metrics["meanLatencySeconds.ci95"]; ci <= 0 {
+		t.Errorf("ci95 = %v, want > 0 across distinct-seed repetitions", ci)
+	}
+	for _, name := range reps.MetricNames() {
+		if strings.HasSuffix(name, ".min") || strings.HasSuffix(name, ".max") {
+			t.Errorf("repetitions summary still has extremum metric %s", name)
+		}
+	}
+	// repetitions <= 1: the historical mean/min/max shape, no CI.
+	single := run(`{
+		"kind": "sweep", "seed": 6,
+		"base": {"kind": "banking", "transactions": 150},
+		"grid": {"/discipline": ["edf", "fcfs"]}
+	}`)
+	if _, ok := single.Metrics["meanLatencySeconds.min"]; !ok {
+		t.Error("plain summary missing .min")
+	}
+	for _, name := range single.MetricNames() {
+		if strings.HasSuffix(name, ".ci95") {
+			t.Errorf("plain summary has CI metric %s", name)
+		}
+	}
+}
+
+func TestSweepRepetitionSummaryWorkerCountInvariant(t *testing.T) {
+	const doc = `{
+		"kind": "sweep", "seed": 31, "repetitions": 3, "parallel": %d,
+		"base": {"kind": "banking", "transactions": 120},
+		"grid": {"/instantShare": [0.1, 0.5]}
+	}`
+	run := func(parallel int) string {
+		res, err := scenario.RunDocument(json.RawMessage(fmt.Sprintf(doc, parallel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	serial := run(1)
+	for _, parallel := range []int{2, 6} {
+		if got := run(parallel); got != serial {
+			t.Errorf("parallel=%d CI report differs from serial", parallel)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package scenario_test
+
+// Trace round-trip determinism (paper P8, C16/C19): every trace-capable
+// kind must export the workload it ran, replay the export through its
+// workload.trace field, and produce a byte-identical Result envelope. This
+// is the contract that makes any experiment reconstructible from a
+// scenario document plus an artifact file — the prerequisite for
+// distributed sweeps and shared trace archives.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"mcs/internal/scenario"
+	"mcs/internal/trace"
+)
+
+// traceCapableConfigs holds a small synthetic configuration per
+// trace-capable kind. Add an entry when a scenario adapter gains
+// scenario.WorkloadProvider; TestWorkloadProvidersAreCovered fails if one
+// is registered but missing here.
+var traceCapableConfigs = map[string]string{
+	"datacenter": `{
+		"kind": "datacenter", "machines": 8, "rackSize": 4,
+		"workload": {"jobs": 50, "pattern": "bursty", "shape": "dag"},
+		"scheduler": {"queue": "sjf", "placement": "bestfit"},
+		"horizonSeconds": 14400, "seed": 5
+	}`,
+	"faas": `{
+		"kind": "faas", "invocations": 400, "meanGapSeconds": 2,
+		"keepWarm": 1, "idleTimeoutSeconds": 120, "seed": 7
+	}`,
+	"gaming": `{
+		"kind": "gaming", "zones": 6, "zoneCapacity": 50,
+		"arrivalPerHour": 500, "diurnalAmp": 0.8,
+		"horizonHours": 4, "seed": 3
+	}`,
+}
+
+func TestWorkloadProvidersAreCovered(t *testing.T) {
+	for _, kind := range scenario.List() {
+		factory, _ := scenario.Lookup(kind)
+		if _, ok := factory().(scenario.WorkloadProvider); !ok {
+			continue
+		}
+		if _, ok := traceCapableConfigs[kind]; !ok {
+			t.Errorf("kind %q implements WorkloadProvider but has no trace round-trip config", kind)
+		}
+	}
+}
+
+func TestTraceRoundTripIsByteIdentical(t *testing.T) {
+	for kind, cfg := range traceCapableConfigs {
+		kind, cfg := kind, cfg
+		t.Run(kind, func(t *testing.T) {
+			const seed = 11
+			// Synthetic run: configure, execute, and export the workload.
+			s, err := scenario.New(kind, json.RawMessage(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			synthetic, err := scenario.RunScenario(s, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := s.(scenario.WorkloadProvider).SourceWorkload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Jobs) == 0 {
+				t.Fatal("exported workload is empty")
+			}
+			path := filepath.Join(t.TempDir(), "export.mcw")
+			if err := trace.WriteFile(path, trace.FormatMCW, w); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay run: same document, workload redirected to the export.
+			var doc map[string]any
+			if err := json.Unmarshal([]byte(cfg), &doc); err != nil {
+				t.Fatal(err)
+			}
+			doc["workload"] = map[string]any{"trace": path, "format": trace.FormatMCW}
+			replayCfg, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := scenario.Run(kind, seed, replayCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a, err := json.Marshal(synthetic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(replayed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("trace replay diverged from synthetic run:\n synthetic: %s\n  replayed: %s", a, b)
+			}
+		})
+	}
+}
+
+func TestTraceReplayRejectsBadSources(t *testing.T) {
+	for kind := range traceCapableConfigs {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			missing := json.RawMessage(`{"workload": {"trace": "/nonexistent/trace.mcw"}}`)
+			if _, err := scenario.New(kind, missing); err == nil {
+				t.Error("missing trace file did not error at Configure")
+			}
+			badFormat := json.RawMessage(`{"workload": {"trace": "x.mcw", "format": "parquet"}}`)
+			if _, err := scenario.New(kind, badFormat); err == nil {
+				t.Error("unknown trace format did not error at Configure")
+			}
+		})
+	}
+}

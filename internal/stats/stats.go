@@ -163,6 +163,77 @@ func Std(xs []float64) float64 {
 	return o.Std()
 }
 
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// of xs under the Student-t distribution: t(0.975, n-1) · s/√n. It returns
+// 0 with fewer than two samples, where the interval is undefined. Used by
+// repetition-aware experiment campaigns to report mean ± CI instead of
+// bare extrema.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * Std(xs) / math.Sqrt(float64(n))
+}
+
+// CI95Pooled returns the half-width of the 95% confidence interval for
+// one group's mean when xs consists of `groups` equal contiguous groups of
+// replicates: t(0.975, n−groups) · s_w/√(n/groups), where s_w² is the
+// pooled within-group variance (the one-way-ANOVA residual). Pooling
+// variance across groups — but never their systematic differences —
+// is what a repetition campaign over a parameter grid quotes: the
+// uncertainty of each grid point's mean, not the spread of the grid.
+// With groups == 1 it reduces exactly to CI95. It returns 0 when xs does
+// not split evenly into groups or has fewer than two replicates per group.
+func CI95Pooled(xs []float64, groups int) float64 {
+	n := len(xs)
+	if groups < 1 || n == 0 || n%groups != 0 {
+		return 0
+	}
+	per := n / groups
+	if per < 2 {
+		return 0
+	}
+	var ssw float64
+	for g := 0; g < groups; g++ {
+		grp := xs[g*per : (g+1)*per]
+		m := Mean(grp)
+		for _, x := range grp {
+			ssw += (x - m) * (x - m)
+		}
+	}
+	df := n - groups
+	sw := math.Sqrt(ssw / float64(df))
+	return tCritical95(df) * sw / math.Sqrt(float64(per))
+}
+
+// t975 holds two-sided 95% Student-t critical values for df 1..30.
+var t975 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t with
+// df degrees of freedom (tabulated to df 30, a few anchors beyond, then
+// the normal limit 1.96).
+func tCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(t975):
+		return t975[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
 // ECDF is an empirical cumulative distribution function over a fixed sample.
 type ECDF struct {
 	sorted []float64

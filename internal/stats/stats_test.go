@@ -342,3 +342,66 @@ func BenchmarkWeibullSample(b *testing.B) {
 		_ = w.Sample(r)
 	}
 }
+
+func TestCI95(t *testing.T) {
+	if got := CI95(nil); got != 0 {
+		t.Errorf("CI95(nil) = %v", got)
+	}
+	if got := CI95([]float64{3}); got != 0 {
+		t.Errorf("CI95(single) = %v", got)
+	}
+	// n=4, values 1..4: mean 2.5, s ≈ 1.2910, t(0.975,3) = 3.182,
+	// half-width = 3.182 * s/2 ≈ 2.0539.
+	got := CI95([]float64{1, 2, 3, 4})
+	if math.Abs(got-2.0539) > 0.001 {
+		t.Errorf("CI95(1..4) = %v, want ≈2.0539", got)
+	}
+	// Identical samples: zero-width interval.
+	if got := CI95([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("CI95(constant) = %v, want 0", got)
+	}
+	// Large n approaches the normal critical value: for n=200 the
+	// half-width must use 1.96, not a small-sample t.
+	big := make([]float64, 200)
+	for i := range big {
+		big[i] = float64(i % 2) // alternating 0/1, s ≈ 0.5013
+	}
+	want := 1.96 * Std(big) / math.Sqrt(200)
+	if got := CI95(big); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95(n=200) = %v, want %v", got, want)
+	}
+}
+
+func TestCI95Pooled(t *testing.T) {
+	// One group reduces exactly to CI95.
+	xs := []float64{1, 2, 3, 4}
+	if got, want := CI95Pooled(xs, 1), CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95Pooled(xs, 1) = %v, want CI95 = %v", got, want)
+	}
+	// Two groups far apart but with zero within-group spread: the pooled
+	// CI must be 0 — systematic between-group differences never leak in.
+	apart := []float64{10, 10, 10, 1000, 1000, 1000}
+	if got := CI95Pooled(apart, 2); got != 0 {
+		t.Errorf("CI95Pooled(between-group spread only) = %v, want 0", got)
+	}
+	// Hand check: groups (0,2) and (10,14): SSW = 2 + 8 = 10, df = 2,
+	// s_w = √5, half-width = t(0.975,2) · √5/√2 = 4.303·1.5811 = 6.803.
+	got := CI95Pooled([]float64{0, 2, 10, 14}, 2)
+	if math.Abs(got-6.8034) > 0.001 {
+		t.Errorf("CI95Pooled hand case = %v, want ≈6.8034", got)
+	}
+	// Degenerate shapes return 0.
+	for name, c := range map[string]struct {
+		xs     []float64
+		groups int
+	}{
+		"empty":         {nil, 1},
+		"zero groups":   {xs, 0},
+		"uneven split":  {[]float64{1, 2, 3}, 2},
+		"one per group": {[]float64{1, 2}, 2},
+	} {
+		if got := CI95Pooled(c.xs, c.groups); got != 0 {
+			t.Errorf("%s: CI95Pooled = %v, want 0", name, got)
+		}
+	}
+}

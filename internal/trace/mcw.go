@@ -1,0 +1,263 @@
+package trace
+
+// The native MCS workload format ("mcw"): a CSV body under a
+// self-describing header. Unlike GWF (whose times are millisecond-precision
+// seconds), mcw stores every duration as exact integer nanoseconds, so a
+// write/read round trip reproduces the workload byte for byte — the
+// property the trace-replay determinism contract rests on.
+//
+// Layout:
+//
+//	#mcw v1
+//	#columns job,task,submit_ns,runtime_ns,cores,memory_mb,user,deadline_ns,accelerator,deps
+//	1,1,0,1500000000,1,128,user3,0,,-
+//
+// '#'-prefixed lines are the header; the "#columns" line names the CSV
+// columns, so readers bind fields by name, not position. Unknown columns
+// are ignored (forward compatibility); missing required columns are a
+// malformed-header error. deps is a semicolon-separated task-ID list or
+// "-" when empty. Tasks of one job may span non-adjacent rows; jobs keep
+// their first-appearance order.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcs/internal/workload"
+)
+
+// ErrBadHeader reports a missing or malformed mcw header.
+var ErrBadHeader = errors.New("trace: malformed mcw header")
+
+const (
+	mcwMagic   = "#mcw v1"
+	mcwColumns = "job,task,submit_ns,runtime_ns,cores,memory_mb,user,deadline_ns,accelerator,deps"
+)
+
+type mcwFormat struct{}
+
+func (mcwFormat) Name() string { return FormatMCW }
+
+// Write implements Format. The encoding is exact (integer nanoseconds).
+func (mcwFormat) Write(out io.Writer, w *workload.Workload) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, mcwMagic)
+	fmt.Fprintln(bw, "#columns "+mcwColumns)
+	cw := csv.NewWriter(bw)
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		for _, t := range j.Tasks {
+			deps := "-"
+			if len(t.Deps) > 0 {
+				parts := make([]string, len(t.Deps))
+				for k, d := range t.Deps {
+					parts[k] = strconv.FormatInt(int64(d), 10)
+				}
+				deps = strings.Join(parts, ";")
+			}
+			rec := []string{
+				strconv.FormatInt(int64(j.ID), 10),
+				strconv.FormatInt(int64(t.ID), 10),
+				strconv.FormatInt(int64(j.Submit), 10),
+				strconv.FormatInt(int64(t.Runtime), 10),
+				strconv.Itoa(t.Cores),
+				strconv.Itoa(t.MemoryMB),
+				j.User,
+				strconv.FormatInt(int64(j.Deadline), 10),
+				t.Accelerator,
+				deps,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// mcwRequired are the columns a header must name.
+var mcwRequired = []string{"job", "task", "submit_ns", "runtime_ns", "cores", "memory_mb", "user"}
+
+// Read implements Format. The header region ('#'-prefixed lines before the
+// first record) is scanned line by line for the magic and the #columns
+// binding; the body is then parsed by a real CSV reader, so quoted fields
+// may contain commas and newlines, and every record is required to carry
+// exactly the header's column count — a truncated record is ErrBadRecord,
+// never a silently zero-filled workload.
+func (mcwFormat) Read(in io.Reader) (*workload.Workload, error) {
+	br := bufio.NewReader(in)
+	magicSeen := false
+	var col map[string]int
+	var firstRecord string
+	for firstRecord == "" {
+		text, readErr := br.ReadString('\n')
+		if readErr != nil && readErr != io.EOF {
+			return nil, fmt.Errorf("trace read: %w", readErr)
+		}
+		trimmed := strings.TrimSpace(text)
+		switch {
+		case trimmed == "":
+			// blank line (or bare EOF): nothing to parse
+		case !magicSeen:
+			if trimmed != mcwMagic {
+				return nil, fmt.Errorf("%w: first line %q, want %q", ErrBadHeader, trimmed, mcwMagic)
+			}
+			magicSeen = true
+		case strings.HasPrefix(trimmed, "#"):
+			if rest, ok := strings.CutPrefix(trimmed, "#columns"); ok {
+				parsed, err := mcwParseColumns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+				}
+				col = parsed
+			}
+		default:
+			if col == nil {
+				return nil, fmt.Errorf("%w: record before #columns line", ErrBadHeader)
+			}
+			firstRecord = text
+		}
+		if readErr == io.EOF {
+			if !magicSeen {
+				return nil, fmt.Errorf("%w: empty input", ErrBadHeader)
+			}
+			break
+		}
+	}
+	if col == nil {
+		return nil, fmt.Errorf("%w: no #columns line", ErrBadHeader)
+	}
+
+	jobs := make(map[workload.JobID]*workload.Job)
+	var order []workload.JobID
+	cr := csv.NewReader(io.MultiReader(strings.NewReader(firstRecord), br))
+	cr.FieldsPerRecord = len(col)
+	cr.Comment = '#'
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+		if err := mcwAddRecord(jobs, &order, col, fields); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+	}
+	w := &workload.Workload{Jobs: make([]workload.Job, 0, len(order))}
+	for _, id := range order {
+		w.Jobs = append(w.Jobs, *jobs[id])
+	}
+	return w, nil
+}
+
+// mcwParseColumns binds column names to indices and checks the required set.
+func mcwParseColumns(rest string) (map[string]int, error) {
+	col := make(map[string]int)
+	for i, name := range strings.Split(strings.TrimSpace(rest), ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("empty column name")
+		}
+		if _, dup := col[name]; dup {
+			return nil, fmt.Errorf("duplicate column %q", name)
+		}
+		col[name] = i
+	}
+	for _, req := range mcwRequired {
+		if _, ok := col[req]; !ok {
+			return nil, fmt.Errorf("missing required column %q", req)
+		}
+	}
+	return col, nil
+}
+
+// mcwAddRecord parses one CSV record into the job map.
+func mcwAddRecord(jobs map[workload.JobID]*workload.Job, order *[]workload.JobID, col map[string]int, fields []string) error {
+	get := func(name string) (string, bool) {
+		i, ok := col[name]
+		if !ok || i >= len(fields) {
+			return "", false
+		}
+		return fields[i], true
+	}
+	getInt := func(name string) (int64, error) {
+		s, ok := get(name)
+		if !ok {
+			return 0, nil
+		}
+		return strconv.ParseInt(s, 10, 64)
+	}
+	jobID, err := getInt("job")
+	if err != nil {
+		return fmt.Errorf("job: %v", err)
+	}
+	taskID, err := getInt("task")
+	if err != nil {
+		return fmt.Errorf("task: %v", err)
+	}
+	submit, err := getInt("submit_ns")
+	if err != nil {
+		return fmt.Errorf("submit_ns: %v", err)
+	}
+	runtime, err := getInt("runtime_ns")
+	if err != nil {
+		return fmt.Errorf("runtime_ns: %v", err)
+	}
+	cores, err := getInt("cores")
+	if err != nil {
+		return fmt.Errorf("cores: %v", err)
+	}
+	memMB, err := getInt("memory_mb")
+	if err != nil {
+		return fmt.Errorf("memory_mb: %v", err)
+	}
+	deadline, err := getInt("deadline_ns")
+	if err != nil {
+		return fmt.Errorf("deadline_ns: %v", err)
+	}
+	user, _ := get("user")
+	accel, _ := get("accelerator")
+	var deps []workload.TaskID
+	if s, ok := get("deps"); ok && s != "-" && s != "" {
+		for _, part := range strings.Split(s, ";") {
+			d, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return fmt.Errorf("deps: %v", err)
+			}
+			deps = append(deps, workload.TaskID(d))
+		}
+	}
+	j, ok := jobs[workload.JobID(jobID)]
+	if !ok {
+		j = &workload.Job{
+			ID:       workload.JobID(jobID),
+			User:     user,
+			Submit:   time.Duration(submit),
+			Deadline: time.Duration(deadline),
+		}
+		jobs[workload.JobID(jobID)] = j
+		*order = append(*order, j.ID)
+	}
+	j.Tasks = append(j.Tasks, workload.Task{
+		ID:          workload.TaskID(taskID),
+		Job:         j.ID,
+		Cores:       int(cores),
+		MemoryMB:    int(memMB),
+		Runtime:     time.Duration(runtime),
+		Deps:        deps,
+		Accelerator: accel,
+	})
+	return nil
+}
