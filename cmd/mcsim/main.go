@@ -11,19 +11,33 @@
 //	mcsim -scenario base.json -sweep grid.json # sweep base over a parameter grid
 //	mcsim -scenario s.json -export-trace w.mcw # export the executed workload
 //	mcsim -scenario s.json -export-csv out/    # per-cell CSVs for figure pipelines
+//	mcsim -scenario b.json -sweep g.json -distributed -workers 4   # subprocess fleet
+//	mcsim -scenario b.json -sweep g.json -distributed \
+//	      -connect http://h1:9137,http://h2:9137 -resume run.ckpt  # remote fleet
+//	mcsim -worker                              # serve cells on stdin/stdout
+//	mcsim -worker -listen :9137                # serve cells over HTTP (see mcsweepd)
 //
 // A scenario document is a JSON object whose "kind" field selects the
 // registered scenario ("datacenter", "faas", "gaming", "banking", "graph",
 // "federation", "autoscale", "social", "sweep", ...); a missing kind
 // defaults to "datacenter" for backward compatibility with pre-registry
-// documents. The "seed" field drives the deterministic kernel: same
-// document, same seed, byte-identical result JSON.
+// documents (the default is noted on stderr), while an unknown kind is an
+// error. The "seed" field drives the deterministic kernel: same document,
+// same seed, byte-identical result JSON.
 //
 // The -sweep flag is a convenience wrapper over the "sweep" meta-scenario:
 // it takes a grid file (a JSON object mapping JSON-pointer-style paths to
 // value lists, e.g. {"/machines": [8, 16]}), composes it with the -scenario
 // document as the base, and runs the cross product — per-cell derived
 // seeds, -parallel workers, one combined report.
+//
+// -distributed routes a sweep through the internal/dist coordinator
+// instead of the in-process worker pool: cells shard across -workers local
+// subprocesses (each a `mcsim -worker` re-execution of this binary), or
+// across the remote HTTP workers listed in -connect. The combined report
+// is byte-identical to the in-process sweep at any fleet shape; -shard
+// caps cells per work unit, and -resume names a checkpoint file so an
+// interrupted campaign restarts without recomputing finished cells.
 //
 // -export-trace writes the workload the run executed (trace-capable kinds
 // only) through the trace format registry; the format resolves like
@@ -36,14 +50,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
+	"mcs/internal/dist"
 	"mcs/internal/experiments"
 	"mcs/internal/opendc"
 	"mcs/internal/scenario"
@@ -72,14 +91,15 @@ func BuildScenario(cfg ScenarioConfig) (*opendc.Scenario, error) {
 const exampleScenario = opendc.ExampleJSON
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsim:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the CLI: results go to out, progress chatter to status.
-func run(args []string, out, status io.Writer) error {
+// run executes the CLI: cells arrive on stdin in -worker mode, results go
+// to out, progress chatter to status.
+func run(args []string, stdin io.Reader, out, status io.Writer) error {
 	fs := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	var (
 		scenarioPath = fs.String("scenario", "", "path to scenario JSON")
@@ -91,9 +111,22 @@ func run(args []string, out, status io.Writer) error {
 		exportTrace  = fs.String("export-trace", "", "write the executed workload to this trace file")
 		traceFormat  = fs.String("trace-format", "", "trace format for -export-trace (default: by extension, else gwf; use .mcw or -trace-format mcw for exact replay)")
 		exportCSV    = fs.String("export-csv", "", "write one CSV per result cell into this directory")
+		worker       = fs.Bool("worker", false, "run as a sweep worker: serve cells on stdin/stdout (or HTTP with -listen)")
+		listen       = fs.String("listen", "", "with -worker: serve the HTTP worker protocol on this address instead of stdio")
+		distributed  = fs.Bool("distributed", false, "run the sweep through the distributed coordinator")
+		workers      = fs.Int("workers", 2, "with -distributed: number of local subprocess workers")
+		connect      = fs.String("connect", "", "with -distributed: comma-separated worker URLs (replaces subprocess workers)")
+		resume       = fs.String("resume", "", "with -distributed: checkpoint file; completed cells load from it and new ones append")
+		shard        = fs.Int("shard", 0, "with -distributed: max cells per work unit (0 = heuristic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker {
+		if *listen != "" {
+			return serveWorker(*listen, status)
+		}
+		return dist.ServeStdio(stdin, out)
 	}
 	if *list {
 		for _, name := range scenario.List() {
@@ -124,10 +157,21 @@ func run(args []string, out, status io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := checkKind(raw, status); err != nil {
+		return err
+	}
 	if *sweepPath != "" {
 		if raw, err = composeSweep(raw, *sweepPath, *parallel); err != nil {
 			return err
 		}
+	}
+	if *distributed {
+		if *exportTrace != "" {
+			// Workloads materialize inside the workers; there is no
+			// coordinator-side instance to export.
+			return fmt.Errorf("-export-trace is not supported with -distributed (export from a plain -scenario run instead)")
+		}
+		return runDistributed(raw, *workers, *connect, *resume, *shard, *exportCSV, out, status)
 	}
 	env, err := scenario.ParseEnvelope(raw)
 	if err != nil {
@@ -210,6 +254,117 @@ func writeCellCSVs(dir string, res *scenario.Result) (int, error) {
 		}
 	}
 	return len(cells), nil
+}
+
+// checkKind vets the document's dispatch kind up front: an unknown kind is
+// an error (with the -list hint), and the backward-compatible default for
+// an absent kind is applied loudly, never silently.
+func checkKind(raw json.RawMessage, status io.Writer) error {
+	var probe struct {
+		Kind *string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		// Not an object at all — let the envelope parser report it.
+		return nil
+	}
+	if probe.Kind == nil || *probe.Kind == "" {
+		fmt.Fprintf(status, "mcsim: document has no \"kind\"; defaulting to %q\n", scenario.DefaultKind)
+		return nil
+	}
+	if _, ok := scenario.Lookup(*probe.Kind); !ok {
+		return fmt.Errorf("unknown scenario kind %q (run mcsim -list for registered kinds)", *probe.Kind)
+	}
+	return nil
+}
+
+// serveWorker runs the HTTP worker daemon (`mcsim -worker -listen`), the
+// same handler cmd/mcsweepd serves.
+func serveWorker(addr string, status io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "mcsim: worker serving %d scenario kinds on %s\n", len(scenario.List()), ln.Addr())
+	return http.Serve(ln, dist.NewHandler())
+}
+
+// runDistributed executes a sweep document through the internal/dist
+// coordinator: remote HTTP workers when -connect lists URLs, otherwise
+// local `mcsim -worker` subprocesses. The combined report goes to out
+// exactly like the in-process path — byte-identical, by the coordinator's
+// contract. Cells that failed permanently are recorded in the report and
+// summarized as an error after the report is written.
+func runDistributed(raw json.RawMessage, workers int, connect, resume string, shard int, exportCSV string, out, status io.Writer) error {
+	env, err := scenario.ParseEnvelope(raw)
+	if err != nil {
+		return err
+	}
+	if env.Kind != "sweep" {
+		return fmt.Errorf("-distributed runs sweep documents; kind %q is not a sweep (compose one with -sweep grid.json)", env.Kind)
+	}
+	var fleet []dist.Worker
+	defer func() {
+		for _, w := range fleet {
+			w.Close()
+		}
+	}()
+	if connect != "" {
+		for _, url := range strings.Split(connect, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			fleet = append(fleet, &dist.HTTP{Base: strings.TrimSuffix(url, "/")})
+		}
+		if len(fleet) == 0 {
+			return fmt.Errorf("-connect lists no worker URLs")
+		}
+	} else {
+		if workers < 1 {
+			return fmt.Errorf("-workers must be at least 1")
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < workers; i++ {
+			w, err := dist.StartSubprocess([]string{exe, "-worker"})
+			if err != nil {
+				return err
+			}
+			fleet = append(fleet, w)
+		}
+	}
+	coord, err := dist.NewCoordinator(fleet, dist.Options{
+		ShardSize:  shard,
+		Checkpoint: resume,
+		Status:     status,
+	})
+	if err != nil {
+		return err
+	}
+	res, fails, err := coord.Run(context.Background(), raw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "mcsim: %s seed=%d: %d events across %d workers in %v\n",
+		res.Scenario, res.Seed, res.Events, len(fleet), res.WallClock.Round(res.WallClock/100+1))
+	if exportCSV != "" {
+		n, err := writeCellCSVs(exportCSV, res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "mcsim: wrote %d cell CSVs to %s\n", n, exportCSV)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d of %d cells failed permanently (typed failure records are in the report)", len(fails), len(res.Cells))
+	}
+	return nil
 }
 
 // composeSweep wraps a base scenario document and a grid file into a "sweep"

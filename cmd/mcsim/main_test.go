@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"mcs/internal/dist"
 	"mcs/internal/opendc"
 	"mcs/internal/scenario"
 )
@@ -115,7 +117,7 @@ func TestBuildScenarioRejectsUnknowns(t *testing.T) {
 
 func TestListFlagEnumeratesRegistry(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+	if err := run([]string{"-list"}, nil, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	listed := strings.Fields(out.String())
@@ -142,7 +144,7 @@ func TestListFlagEnumeratesRegistry(t *testing.T) {
 func TestExampleFlagPerKind(t *testing.T) {
 	for _, kind := range scenario.List() {
 		var out strings.Builder
-		if err := run([]string{"-example", "-kind", kind}, &out, io.Discard); err != nil {
+		if err := run([]string{"-example", "-kind", kind}, nil, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		var doc map[string]any
@@ -153,7 +155,7 @@ func TestExampleFlagPerKind(t *testing.T) {
 			t.Errorf("%s example carries kind=%v", kind, doc["kind"])
 		}
 	}
-	if err := run([]string{"-example", "-kind", "nope"}, &strings.Builder{}, io.Discard); err == nil {
+	if err := run([]string{"-example", "-kind", "nope"}, nil, &strings.Builder{}, io.Discard); err == nil {
 		t.Error("unknown -kind accepted")
 	}
 }
@@ -167,7 +169,7 @@ func TestExampleRoundTripEveryKind(t *testing.T) {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
 			var doc strings.Builder
-			if err := run([]string{"-example", "-kind", kind}, &doc, io.Discard); err != nil {
+			if err := run([]string{"-example", "-kind", kind}, nil, &doc, io.Discard); err != nil {
 				t.Fatalf("-example: %v", err)
 			}
 			path := filepath.Join(t.TempDir(), kind+".json")
@@ -175,7 +177,7 @@ func TestExampleRoundTripEveryKind(t *testing.T) {
 				t.Fatal(err)
 			}
 			var out strings.Builder
-			if err := run([]string{"-scenario", path}, &out, io.Discard); err != nil {
+			if err := run([]string{"-scenario", path}, nil, &out, io.Discard); err != nil {
 				t.Fatalf("round-trip run: %v", err)
 			}
 			var res scenario.Result
@@ -205,7 +207,7 @@ func TestSweepFlagComposesGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{"-scenario", base, "-sweep", grid, "-parallel", "2"}, &out, io.Discard); err != nil {
+	if err := run([]string{"-scenario", base, "-sweep", grid, "-parallel", "2"}, nil, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var res scenario.Result
@@ -243,7 +245,7 @@ func TestRunnerDispatchesEveryKind(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out strings.Builder
-		if err := run([]string{"-scenario", path}, &out, io.Discard); err != nil {
+		if err := run([]string{"-scenario", path}, nil, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		var res scenario.Result
@@ -294,7 +296,7 @@ func TestExportTraceReplaysByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var synthetic strings.Builder
-	if err := run([]string{"-scenario", scenarioPath, "-export-trace", tracePath}, &synthetic, io.Discard); err != nil {
+	if err := run([]string{"-scenario", scenarioPath, "-export-trace", tracePath}, nil, &synthetic, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(replayPath, []byte(fmt.Sprintf(`{
@@ -304,7 +306,7 @@ func TestExportTraceReplaysByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var replayed strings.Builder
-	if err := run([]string{"-scenario", replayPath}, &replayed, io.Discard); err != nil {
+	if err := run([]string{"-scenario", replayPath}, nil, &replayed, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if synthetic.String() != replayed.String() {
@@ -315,10 +317,12 @@ func TestExportTraceReplaysByteIdentical(t *testing.T) {
 func TestExportTraceRejectsNonCapableKind(t *testing.T) {
 	dir := t.TempDir()
 	scenarioPath := filepath.Join(dir, "s.json")
-	if err := os.WriteFile(scenarioPath, []byte(`{"kind": "banking", "transactions": 50, "seed": 1}`), 0o644); err != nil {
+	// graph workloads are synthesized inside the harness from the kernel
+	// RNG — the kind does not implement scenario.WorkloadProvider.
+	if err := os.WriteFile(scenarioPath, []byte(`{"kind": "graph", "scale": 6, "edgeFactor": 4, "seed": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run([]string{"-scenario", scenarioPath, "-export-trace", filepath.Join(dir, "w.mcw")}, io.Discard, io.Discard)
+	err := run([]string{"-scenario", scenarioPath, "-export-trace", filepath.Join(dir, "w.mcw")}, nil, io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "does not expose a workload trace") {
 		t.Errorf("err = %v, want trace-capability error", err)
 	}
@@ -335,7 +339,7 @@ func TestExportCSVWritesCellsInGridOrder(t *testing.T) {
 	}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, io.Discard, io.Discard); err != nil {
+	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, nil, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(csvDir)
@@ -376,7 +380,7 @@ func TestExportCSVPlainRunWritesOneCell(t *testing.T) {
 	if err := os.WriteFile(scenarioPath, []byte(`{"kind": "banking", "transactions": 60, "seed": 2}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, io.Discard, io.Discard); err != nil {
+	if err := run([]string{"-scenario", scenarioPath, "-export-csv", csvDir}, nil, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(csvDir)
@@ -385,5 +389,154 @@ func TestExportCSVPlainRunWritesOneCell(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Name() != "cell-0000.csv" {
 		t.Fatalf("plain run wrote %v, want one cell-0000.csv", entries)
+	}
+}
+
+// --- distributed sweeps and worker mode -------------------------------------
+
+func writeSweepFiles(t *testing.T) (base, grid string) {
+	t.Helper()
+	dir := t.TempDir()
+	base = filepath.Join(dir, "base.json")
+	grid = filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(base, []byte(`{"kind": "banking", "transactions": 120, "seed": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(grid, []byte(`{"/discipline": ["edf", "fcfs"], "/instantShare": [0.1, 0.4]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return base, grid
+}
+
+// TestWorkerModeServesCellsOnStdio drives `mcsim -worker` in-process: one
+// work unit in, one result line per cell out.
+func TestWorkerModeServesCellsOnStdio(t *testing.T) {
+	unit := dist.WorkUnit{ID: 0, Cells: []dist.CellSpec{
+		{Index: 0, Key: "a", Seed: 3, Doc: json.RawMessage(`{"kind": "banking", "transactions": 50, "seed": 3}`)},
+		{Index: 1, Key: "b", Seed: 4, Doc: json.RawMessage(`{"kind": "nope"}`)},
+	}}
+	payload, err := json.Marshal(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-worker"}, strings.NewReader(string(payload)+"\n"), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("worker emitted %d lines, want 2:\n%s", len(lines), out.String())
+	}
+	var first, second dist.CellResult
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Result == nil || first.Result.Scenario != "banking" {
+		t.Errorf("first result = %+v, want banking envelope", first)
+	}
+	if second.Err == "" {
+		t.Errorf("unknown-kind cell did not error: %+v", second)
+	}
+}
+
+// TestDistributedMatchesInProcessThroughCLI is the CLI-level byte-identity
+// check: the same base+grid run through -sweep and through -distributed
+// (HTTP fleet) must print identical report bytes.
+func TestDistributedMatchesInProcessThroughCLI(t *testing.T) {
+	base, grid := writeSweepFiles(t)
+	var want strings.Builder
+	if err := run([]string{"-scenario", base, "-sweep", grid}, nil, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(dist.NewHandler())
+	defer srv.Close()
+	var got strings.Builder
+	args := []string{"-scenario", base, "-sweep", grid, "-distributed", "-connect", srv.URL, "-shard", "1"}
+	if err := run(args, nil, &got, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("-distributed output diverged from -sweep:\n got %s\nwant %s", got.String(), want.String())
+	}
+}
+
+// TestDistributedResumeWritesCheckpoint: a -resume campaign leaves a
+// checkpoint a second invocation replays without recomputing (verified by
+// running the replay against a dead fleet — it must still succeed).
+func TestDistributedResumeWritesCheckpoint(t *testing.T) {
+	base, grid := writeSweepFiles(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	srv := httptest.NewServer(dist.NewHandler())
+	var want strings.Builder
+	args := []string{"-scenario", base, "-sweep", grid, "-distributed", "-connect", srv.URL, "-resume", ckpt}
+	if err := run(args, nil, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // fleet is now dead; only the checkpoint can answer
+	var got strings.Builder
+	if err := run(args, nil, &got, io.Discard); err != nil {
+		t.Fatalf("checkpoint replay failed: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("replayed report diverged:\n got %s\nwant %s", got.String(), want.String())
+	}
+}
+
+func TestDistributedRejectsNonSweepDocument(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(`{"kind": "banking", "transactions": 50}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", path, "-distributed"}, nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "not a sweep") {
+		t.Errorf("err = %v, want not-a-sweep", err)
+	}
+}
+
+func TestDistributedRejectsEmptyConnect(t *testing.T) {
+	base, grid := writeSweepFiles(t)
+	err := run([]string{"-scenario", base, "-sweep", grid, "-distributed", "-connect", " , "}, nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no worker URLs") {
+		t.Errorf("err = %v, want no-worker-URLs", err)
+	}
+}
+
+// --- kind handling ----------------------------------------------------------
+
+func TestUnknownKindErrorsWithListHint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(`{"kind": "datacentre", "seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", path}, nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "datacentre") || !strings.Contains(err.Error(), "-list") {
+		t.Errorf("err = %v, want unknown-kind error with the -list hint", err)
+	}
+}
+
+func TestAbsentKindDefaultsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(`{"machines": 4, "workload": {"jobs": 10}, "horizonSeconds": 3600, "seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, status strings.Builder
+	if err := run([]string{"-scenario", path}, nil, &out, &status); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status.String(), `no "kind"`) || !strings.Contains(status.String(), "datacenter") {
+		t.Errorf("status %q does not announce the default kind", status.String())
+	}
+	var res scenario.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "datacenter" {
+		t.Errorf("scenario = %q, want the documented default", res.Scenario)
 	}
 }

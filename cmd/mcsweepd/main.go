@@ -1,0 +1,71 @@
+// Command mcsweepd is the standalone sweep worker daemon: it serves the
+// distributed-sweep worker protocol (internal/dist) over HTTP so a
+// coordinator on another machine can shard campaign cells onto this host:
+//
+//	mcsweepd -listen :9137
+//	mcsim -scenario base.json -sweep grid.json -distributed \
+//	      -connect http://host-a:9137,http://host-b:9137
+//
+// Endpoints:
+//
+//	POST /run      a WorkUnit of cells; the response streams one
+//	               CellResult per line as cells complete
+//	GET  /healthz  liveness plus the registered scenario kinds
+//
+// The daemon executes cells sequentially per request (the coordinator
+// keeps one unit in flight per worker); run one daemon per core — or
+// several behind one load balancer — to scale a host. It is equivalent to
+// `mcsim -worker -listen`, packaged separately so worker hosts need only
+// the execution half of the toolkit and campaign artifacts (grids,
+// checkpoints, reports) stay coordinator-side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"mcs/internal/dist"
+	"mcs/internal/scenario"
+
+	// Ecosystem packages register their scenarios on import; the daemon
+	// must mirror mcsim's registry or remote cells would fail to dispatch.
+	_ "mcs/internal/autoscale"
+	_ "mcs/internal/banking"
+	_ "mcs/internal/faas"
+	_ "mcs/internal/federation"
+	_ "mcs/internal/gaming"
+	_ "mcs/internal/graphproc"
+	_ "mcs/internal/opendc"
+	_ "mcs/internal/social"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, status io.Writer) error {
+	fs := flag.NewFlagSet("mcsweepd", flag.ContinueOnError)
+	listen := fs.String("listen", ":9137", "address to serve the worker protocol on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	return serve(ln, status)
+}
+
+// serve runs the worker protocol on an already-bound listener (split from
+// run so tests can bind port 0 and learn the address).
+func serve(ln net.Listener, status io.Writer) error {
+	fmt.Fprintf(status, "mcsweepd: serving %d scenario kinds on %s\n", len(scenario.List()), ln.Addr())
+	return http.Serve(ln, dist.NewHandler())
+}

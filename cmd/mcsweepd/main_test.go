@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"mcs/internal/dist"
+	"mcs/internal/scenario"
+)
+
+// TestDaemonServesWorkerProtocol boots the daemon on an ephemeral port and
+// runs a small campaign against it through the HTTP worker — the same path
+// `mcsim -distributed -connect` takes.
+func TestDaemonServesWorkerProtocol(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var status strings.Builder
+	go serve(ln, &status)
+
+	doc := `{
+	  "kind": "sweep", "seed": 3,
+	  "base": {"kind": "banking", "transactions": 80},
+	  "grid": {"/discipline": ["edf", "fcfs"]}
+	}`
+	want, err := scenario.RunDocument(json.RawMessage(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := dist.NewCoordinator([]dist.Worker{&dist.HTTP{Base: "http://" + ln.Addr().String()}}, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fails, err := coord.Run(context.Background(), json.RawMessage(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("failures: %+v", fails)
+	}
+	gotBytes, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Errorf("daemon report diverged:\n got %s\nwant %s", gotBytes, wantBytes)
+	}
+}
+
+func TestRunRejectsBadAddress(t *testing.T) {
+	if err := run([]string{"-listen", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -29,17 +29,25 @@
 // document crossed over a parameter grid (array indices included, with
 // repetitions summarized as mean ± 95% CI), run on a worker pool with
 // derived per-cell seeds and one combined, byte-deterministic report (the
-// OpenDC-style what-if portfolio).
+// OpenDC-style what-if portfolio). The distributed sweep subsystem
+// (internal/dist) scales the same campaigns across processes and
+// machines: a coordinator partitions the cell list into work units,
+// hands them to subprocess workers (`mcsim -worker`) or remote HTTP
+// daemons (cmd/mcsweepd), retries failed cells, checkpoints completed
+// ones for resumable campaigns, and merges per-cell envelopes strictly in
+// grid order — the combined report stays byte-identical to a
+// single-process sweep at any fleet shape.
 //
 // Workloads flow through a source layer (internal/workload Source:
 // synthetic, inline, or a trace file resolved by the internal/trace
 // format registry — GWA-style gwf plus the exact native mcw), so the
-// trace-capable kinds (datacenter, faas, gaming) replay an exported
-// trace to a byte-identical result; see examples/tracereplay and
-// `mcsim -export-trace`.
+// trace-capable kinds (datacenter, faas, gaming, banking) replay an
+// exported trace to a byte-identical result; see examples/tracereplay
+// and `mcsim -export-trace`.
 //
 // Start with examples/quickstart, run any registered scenario with
 // cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns,
+// -distributed shards them across worker processes and machines,
 // -export-trace/-export-csv write replayable and plottable artifacts),
 // run experiments with cmd/mcsbench, and see DESIGN.md for the
 // architecture and system inventory.

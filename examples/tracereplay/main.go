@@ -19,6 +19,7 @@ import (
 	"mcs/internal/trace"
 
 	// Trace-capable ecosystems register their scenarios on import.
+	_ "mcs/internal/banking"
 	_ "mcs/internal/faas"
 	_ "mcs/internal/gaming"
 	_ "mcs/internal/opendc"
@@ -41,6 +42,10 @@ var documents = map[string]string{
 		"arrivalPerHour": 800, "diurnalAmp": 0.8,
 		"horizonHours": 8, "seed": 42
 	}`,
+	"banking": `{
+		"kind": "banking", "transactions": 2000, "instantShare": 0.4,
+		"discipline": "edf", "seed": 42
+	}`,
 }
 
 func main() {
@@ -51,7 +56,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	failed := false
-	for _, kind := range []string{"datacenter", "faas", "gaming"} {
+	for _, kind := range []string{"datacenter", "faas", "gaming", "banking"} {
 		if err := roundTrip(kind, documents[kind], dir); err != nil {
 			fmt.Fprintf(os.Stderr, "tracereplay: %s: %v\n", kind, err)
 			failed = true

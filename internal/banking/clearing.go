@@ -2,7 +2,6 @@ package banking
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"mcs/internal/sim"
@@ -198,34 +197,4 @@ func RunClearingOn(k *sim.Kernel, pipeline []Stage, txs []Transaction, disc Queu
 		res.MeanLateness = latenessSum / time.Duration(res.DeadlineMiss)
 	}
 	return res, nil
-}
-
-// GenerateTransactions draws a PSD2-style daily workload: diurnal arrivals
-// with an end-of-business clearing spike, lognormal amounts, and a mix of
-// instant (10s deadline) and same-hour (1h) transactions.
-func GenerateTransactions(n int, instantShare float64, seed int64) []Transaction {
-	k := sim.New(seed) // reuse the kernel's deterministic RNG
-	r := k.Rand()
-	day := 24 * time.Hour
-	txs := make([]Transaction, 0, n)
-	for i := 0; i < n; i++ {
-		// Arrival: 80% spread diurnally, 20% in the 17:00–18:00 spike.
-		var at time.Duration
-		if r.Float64() < 0.2 {
-			at = 17*time.Hour + time.Duration(r.Float64()*float64(time.Hour))
-		} else {
-			at = time.Duration(r.Float64() * float64(day))
-		}
-		ddl := time.Hour
-		if r.Float64() < instantShare {
-			ddl = 10 * time.Second
-		}
-		cents := int64(stats.LogNormal{Mu: 8, Sigma: 1.5}.Sample(r))
-		if cents < 1 {
-			cents = 1
-		}
-		txs = append(txs, Transaction{ID: i + 1, Arrive: at, Deadline: at + ddl, Cents: cents})
-	}
-	sort.Slice(txs, func(i, j int) bool { return txs[i].Arrive < txs[j].Arrive })
-	return txs
 }

@@ -4,13 +4,24 @@ package banking
 // (internal/scenario), registered under "banking": a JSON schema selecting
 // the workload size, deadline mix, and queue discipline, and a thin
 // scenario.Scenario implementation over the default four-stage pipeline.
+//
+// The transaction stream is a first-class workload (see workload.go for
+// the field mapping), materialized at Configure through the
+// workload-source layer — synthesized from the document seed, or replayed
+// from a trace file named in the document. The pipeline consumes the same
+// precomputed stream either way, and its per-stage service times are
+// kernel-RNG dynamics whose draw order the stream fixes, so a trace
+// exported from a synthetic run replays to a byte-identical result.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 
 	"mcs/internal/scenario"
 	"mcs/internal/sim"
+	"mcs/internal/trace"
+	"mcs/internal/workload"
 )
 
 // ScenarioJSON is the JSON schema of the "banking" scenario.
@@ -22,7 +33,11 @@ type ScenarioJSON struct {
 	InstantShare float64 `json:"instantShare"`
 	// Discipline is "fcfs" or "edf" (default "edf").
 	Discipline string `json:"discipline"`
-	Seed       int64  `json:"seed"`
+	// Workload selects the transaction source: a trace file replays through
+	// the format registry; empty synthesizes from Transactions/InstantShare
+	// and the document seed.
+	Workload trace.Ref `json:"workload"`
+	Seed     int64     `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run banking scenario document.
@@ -33,10 +48,8 @@ const ExampleJSON = `{
 }`
 
 type bankingScenario struct {
-	txCount      int
-	instantShare float64
-	disc         QueueDiscipline
-	seed         int64
+	disc QueueDiscipline
+	w    *workload.Workload
 }
 
 func init() {
@@ -48,6 +61,14 @@ func (b *bankingScenario) Name() string { return "banking" }
 
 // Example implements scenario.Exampler.
 func (b *bankingScenario) Example() string { return ExampleJSON }
+
+// SourceWorkload implements scenario.WorkloadProvider.
+func (b *bankingScenario) SourceWorkload() (*workload.Workload, error) {
+	if b.w == nil {
+		return nil, fmt.Errorf("banking: not configured")
+	}
+	return b.w, nil
+}
 
 // Configure implements scenario.Scenario.
 func (b *bankingScenario) Configure(raw json.RawMessage) error {
@@ -69,15 +90,21 @@ func (b *bankingScenario) Configure(raw json.RawMessage) error {
 	default:
 		return fmt.Errorf("banking scenario: unknown discipline %q", cfg.Discipline)
 	}
-	b.txCount = cfg.Transactions
-	b.instantShare = cfg.InstantShare
-	b.seed = cfg.Seed
+	count, share := cfg.Transactions, cfg.InstantShare
+	src := trace.SourceFor(cfg.Workload, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
+		return GenerateWorkload(count, share, r), nil
+	})
+	w, err := src.Load()
+	if err != nil {
+		return err
+	}
+	b.w = w
 	return nil
 }
 
 // Run implements scenario.Scenario.
 func (b *bankingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
-	txs := GenerateTransactions(b.txCount, b.instantShare, b.seed)
+	txs := TransactionsFromWorkload(b.w)
 	res, err := RunClearingOn(k, DefaultPipeline(), txs, b.disc)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,119 @@
+package banking
+
+// The transaction stream as a first-class workload: one single-task job
+// per payment, which puts banking on the workload-source layer next to
+// datacenter, faas, and gaming — synthesize from the document seed or
+// replay a trace file, export what ran, and replay the export to a
+// byte-identical result (the service times the pipeline draws from the
+// kernel RNG are dynamics whose order the transaction stream fixes).
+//
+// Field mapping (the trace schema has no payments vocabulary, so the
+// generic columns carry the stream exactly):
+//
+//	Job.ID       → Transaction.ID
+//	Job.Submit   → Transaction.Arrive
+//	Job.Deadline → Transaction.Deadline (absolute, PSD2-style)
+//	Job.User     → deadline class ("instant" / "standard"), a label that
+//	               keeps exported traces human-readable
+//	Task.Runtime → the regulatory service window (Deadline − Arrive);
+//	               per-stage service demand is drawn at clearing time
+//	Task.MemoryMB→ the amount in integer cents — pipeline stages demand no
+//	               memory, so the schema's free integer column preserves
+//	               amounts across export/replay
+//
+// mcw stores integer nanoseconds, so the round trip is exact; gwf rounds
+// times to milliseconds and is therefore lossy for this stream too.
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mcs/internal/sim"
+	"mcs/internal/stats"
+	"mcs/internal/workload"
+)
+
+// Deadline classes of the PSD2-style mix.
+const (
+	instantDeadline  = 10 * time.Second
+	standardDeadline = time.Hour
+)
+
+// GenerateWorkload synthesizes the PSD2-style daily transaction stream as
+// a workload: diurnal arrivals with an end-of-business clearing spike
+// (17:00–18:00 holds 20% of the day), lognormal amounts, and an
+// instantShare mix of instant (10s deadline) versus same-hour (1h)
+// payments. Jobs come out sorted by submit time.
+func GenerateWorkload(n int, instantShare float64, r *rand.Rand) *workload.Workload {
+	day := 24 * time.Hour
+	w := &workload.Workload{Jobs: make([]workload.Job, 0, n)}
+	for i := 0; i < n; i++ {
+		// Arrival: 80% spread diurnally, 20% in the 17:00–18:00 spike.
+		var at time.Duration
+		if r.Float64() < 0.2 {
+			at = 17*time.Hour + time.Duration(r.Float64()*float64(time.Hour))
+		} else {
+			at = time.Duration(r.Float64() * float64(day))
+		}
+		ddl := standardDeadline
+		class := "standard"
+		if r.Float64() < instantShare {
+			ddl = instantDeadline
+			class = "instant"
+		}
+		cents := int64(stats.LogNormal{Mu: 8, Sigma: 1.5}.Sample(r))
+		if cents < 1 {
+			cents = 1
+		}
+		id := workload.JobID(i + 1)
+		w.Jobs = append(w.Jobs, workload.Job{
+			ID:       id,
+			User:     class,
+			Submit:   at,
+			Deadline: at + ddl,
+			Tasks: []workload.Task{{
+				ID:       workload.TaskID(i + 1),
+				Job:      id,
+				Cores:    1,
+				MemoryMB: int(cents),
+				Runtime:  ddl,
+			}},
+		})
+	}
+	sort.SliceStable(w.Jobs, func(i, j int) bool { return w.Jobs[i].Submit < w.Jobs[j].Submit })
+	return w
+}
+
+// TransactionsFromWorkload reconstructs the transaction stream from its
+// workload form (see the field mapping above). Jobs without tasks get the
+// minimum amount; the stream is (re)sorted by arrival, the order
+// RunClearing requires, so hand-built or converted traces need no
+// pre-sorting.
+func TransactionsFromWorkload(w *workload.Workload) []Transaction {
+	txs := make([]Transaction, 0, len(w.Jobs))
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		cents := int64(1)
+		if len(j.Tasks) > 0 && j.Tasks[0].MemoryMB > 0 {
+			cents = int64(j.Tasks[0].MemoryMB)
+		}
+		txs = append(txs, Transaction{
+			ID:       int(j.ID),
+			Arrive:   j.Submit,
+			Deadline: j.Deadline,
+			Cents:    cents,
+		})
+	}
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].Arrive < txs[j].Arrive })
+	return txs
+}
+
+// GenerateTransactions draws the PSD2-style daily workload in transaction
+// form — the historical entry point, now a reroute through the workload
+// generator so the programmatic API and the scenario adapter share one
+// model of the stream.
+func GenerateTransactions(n int, instantShare float64, seed int64) []Transaction {
+	k := sim.New(seed) // reuse the kernel's deterministic RNG
+	return TransactionsFromWorkload(GenerateWorkload(n, instantShare, k.Rand()))
+}

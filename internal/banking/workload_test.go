@@ -1,0 +1,85 @@
+package banking
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcs/internal/workload"
+)
+
+// TestWorkloadFieldMapping pins the transaction↔workload contract that
+// export/replay fidelity rests on: amounts ride MemoryMB, deadline classes
+// ride User, and the reconstruction inverts the generation exactly.
+func TestWorkloadFieldMapping(t *testing.T) {
+	w := GenerateWorkload(500, 0.4, rand.New(rand.NewSource(7)))
+	if len(w.Jobs) != 500 {
+		t.Fatalf("jobs = %d", len(w.Jobs))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("generated workload invalid: %v", err)
+	}
+	instant := 0
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if len(j.Tasks) != 1 {
+			t.Fatalf("job %d has %d tasks, want 1", j.ID, len(j.Tasks))
+		}
+		window := j.Deadline - j.Submit
+		switch j.User {
+		case "instant":
+			instant++
+			if window != 10*time.Second {
+				t.Fatalf("instant job %d has window %v", j.ID, window)
+			}
+		case "standard":
+			if window != time.Hour {
+				t.Fatalf("standard job %d has window %v", j.ID, window)
+			}
+		default:
+			t.Fatalf("job %d has class %q", j.ID, j.User)
+		}
+		if j.Tasks[0].Runtime != window {
+			t.Fatalf("job %d runtime %v != window %v", j.ID, j.Tasks[0].Runtime, window)
+		}
+		if j.Tasks[0].MemoryMB < 1 {
+			t.Fatalf("job %d carries amount %d", j.ID, j.Tasks[0].MemoryMB)
+		}
+	}
+	if instant < 120 || instant > 280 {
+		t.Errorf("instant count %d, want ≈200 of 500", instant)
+	}
+
+	txs := TransactionsFromWorkload(w)
+	if len(txs) != len(w.Jobs) {
+		t.Fatalf("reconstructed %d transactions from %d jobs", len(txs), len(w.Jobs))
+	}
+	for i, tx := range txs {
+		j := &w.Jobs[i] // both sorted by arrival
+		if tx.Arrive != j.Submit || tx.Deadline != j.Deadline || tx.Cents != int64(j.Tasks[0].MemoryMB) || tx.ID != int(j.ID) {
+			t.Fatalf("transaction %d diverges from job: %+v vs %+v", i, tx, j)
+		}
+	}
+}
+
+// TestTransactionsFromWorkloadDefaults: jobs from foreign traces without
+// tasks or amounts still reconstruct runnable transactions.
+func TestTransactionsFromWorkloadDefaults(t *testing.T) {
+	w := &workload.Workload{Jobs: []workload.Job{
+		{ID: 2, Submit: 3 * time.Second, Deadline: 10 * time.Second},
+		{ID: 1, Submit: time.Second, Deadline: 5 * time.Second,
+			Tasks: []workload.Task{{ID: 1, Job: 1, Cores: 1, Runtime: time.Second}}},
+	}}
+	txs := TransactionsFromWorkload(w)
+	if len(txs) != 2 {
+		t.Fatalf("txs = %d", len(txs))
+	}
+	if txs[0].ID != 1 || txs[1].ID != 2 {
+		t.Errorf("not resorted by arrival: %+v", txs)
+	}
+	for _, tx := range txs {
+		if tx.Cents != 1 {
+			t.Errorf("tx %d amount %d, want minimum 1", tx.ID, tx.Cents)
+		}
+	}
+}

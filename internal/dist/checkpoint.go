@@ -1,0 +1,126 @@
+package dist
+
+// Resumability: a checkpoint file records every completed cell as one JSON
+// line, under a header line binding the file to the campaign fingerprint.
+// A resumed coordinator loads the records, skips those cells, and appends
+// new completions — so an interrupted campaign (crash, SIGKILL, preempted
+// host) restarts without recomputing finished work, and a finished
+// checkpoint replays the whole report without running anything.
+//
+// The file format is deliberately forgiving on read: a process killed
+// mid-write leaves a truncated final line, which Resume drops. It is
+// strict on identity: a fingerprint mismatch is an error, never a silent
+// merge of two different campaigns.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcs/internal/scenario"
+)
+
+type checkpointHeader struct {
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+}
+
+type checkpointRecord struct {
+	Index  int              `json:"index"`
+	Key    string           `json:"key"`
+	Result *scenario.Result `json:"result"`
+}
+
+// Checkpoint appends completed cells to the campaign's checkpoint file.
+// Writes go straight to the file descriptor (no userspace buffering), so
+// every record survives the death of this process the moment Append
+// returns.
+type Checkpoint struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// Resume loads the completed cells recorded at path and reopens the file
+// for appending. A missing file starts a fresh checkpoint. The existing
+// file is rewritten through a temp file and an atomic rename — dropping a
+// truncated trailing record, out-of-range indices, and duplicates — so the
+// live file always holds exactly one valid line per record, whatever state
+// the previous run died in. The caller must Close the returned Checkpoint.
+func Resume(path, fingerprint string, totalCells int) (map[int]*scenario.Result, *Checkpoint, error) {
+	completed := map[int]*scenario.Result{}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	if len(data) > 0 {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		if !sc.Scan() {
+			return nil, nil, fmt.Errorf("dist: checkpoint %s: unreadable header", path)
+		}
+		var hdr checkpointHeader
+		if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+			return nil, nil, fmt.Errorf("dist: checkpoint %s: bad header: %w", path, err)
+		}
+		if hdr.Fingerprint != fingerprint {
+			return nil, nil, fmt.Errorf("dist: checkpoint %s belongs to a different campaign (fingerprint %s, want %s); delete it or pass a different path",
+				path, hdr.Fingerprint, fingerprint)
+		}
+		for sc.Scan() {
+			var rec checkpointRecord
+			// A torn or truncated line — the tail a killed writer leaves —
+			// is dropped, not fatal: the cell just reruns.
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Result == nil {
+				continue
+			}
+			if rec.Index < 0 || rec.Index >= totalCells {
+				continue
+			}
+			completed[rec.Index] = rec.Result
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("dist: checkpoint %s: %w", path, err)
+		}
+	}
+
+	// Rewrite header plus surviving records, then swap into place: the old
+	// file stays intact until the rename, and the new one starts clean.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(checkpointHeader{Fingerprint: fingerprint, Cells: totalCells}); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	for idx := 0; idx < totalCells; idx++ {
+		res, ok := completed[idx]
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(checkpointRecord{Index: idx, Key: res.Labels["cell"], Result: res}); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, nil, err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, err
+	}
+	return completed, &Checkpoint{f: tmp, enc: enc}, nil
+}
+
+// Append records one completed cell.
+func (c *Checkpoint) Append(index int, key string, res *scenario.Result) error {
+	return c.enc.Encode(checkpointRecord{Index: index, Key: key, Result: res})
+}
+
+// Close closes the underlying file.
+func (c *Checkpoint) Close() error { return c.f.Close() }

@@ -1,0 +1,124 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcs/internal/dist"
+	"mcs/internal/scenario"
+)
+
+func expandDoc(doc string) (scenario.SweepJSON, string, []scenario.Cell, error) {
+	return scenario.ExpandSweepDocument(json.RawMessage(doc))
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	res := &scenario.Result{Scenario: "banking", Seed: 9,
+		Metrics: map[string]float64{"completed": 42}, Labels: map[string]string{"cell": "k0"}}
+
+	completed, ckpt, err := dist.Resume(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 0 {
+		t.Errorf("fresh checkpoint reports %d completed cells", len(completed))
+	}
+	if err := ckpt.Append(0, "k0", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	completed, ckpt, err = dist.Resume(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	if len(completed) != 1 || completed[0] == nil {
+		t.Fatalf("resume loaded %v, want cell 0", completed)
+	}
+	if completed[0].Metrics["completed"] != 42 {
+		t.Errorf("resumed metrics = %v", completed[0].Metrics)
+	}
+}
+
+func TestCheckpointRejectsForeignCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	_, ckpt, err := dist.Resume(path, "fp-one", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+	if _, _, err := dist.Resume(path, "fp-two", 2); err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Errorf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+// TestCheckpointDropsTornTail: a writer killed mid-record leaves a
+// truncated final line; Resume must drop it and keep the valid prefix.
+func TestCheckpointDropsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	res := &scenario.Result{Scenario: "banking", Metrics: map[string]float64{}, Labels: map[string]string{"cell": "k"}}
+	_, ckpt, err := dist.Resume(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Append(0, "k0", res)
+	ckpt.Append(1, "k1", res)
+	ckpt.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-17] // cut into the final record
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	completed, ckpt, err := dist.Resume(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	if len(completed) != 1 || completed[0] == nil {
+		t.Errorf("torn checkpoint loaded %d cells, want the 1 intact record", len(completed))
+	}
+
+	// The rewrite healed the file: loading again sees the same single cell.
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(healed), "\n"); lines != 2 {
+		t.Errorf("healed checkpoint has %d lines, want header + 1 record", lines)
+	}
+}
+
+// TestCheckpointIgnoresOutOfRangeRecords guards against a checkpoint from
+// a same-fingerprint file hand-edited or corrupted into absurd indices.
+func TestCheckpointIgnoresOutOfRangeRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	res := &scenario.Result{Scenario: "banking", Metrics: map[string]float64{}}
+	_, ckpt, err := dist.Resume(path, "fp", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Append(3, "k3", res)
+	ckpt.Append(11, "k11", res) // out of range for totalCells=4 below
+	ckpt.Close()
+
+	completed, ckpt, err := dist.Resume(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	if len(completed) != 1 || completed[3] == nil {
+		t.Errorf("loaded %v, want only cell 3", completed)
+	}
+}

@@ -1,0 +1,120 @@
+package dist
+
+// The HTTP transport: the same WorkUnit/CellResult messages as the
+// subprocess pipes, carried as `POST /run` with an NDJSON response stream.
+// NewHandler is the daemon side (cmd/mcsweepd, mcsim -worker -listen);
+// HTTP is the coordinator side. Results stream one line per cell and flush
+// as they complete, so the coordinator can checkpoint mid-unit and a lost
+// connection forfeits only the cells not yet received.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mcs/internal/scenario"
+)
+
+// NewHandler returns the worker daemon's HTTP handler:
+//
+//	POST /run      WorkUnit in, one CellResult per NDJSON line out
+//	GET  /healthz  {"ok":true,"kinds":[...]} — liveness plus the registry
+//
+// The handler executes cells sequentially per request; run one daemon per
+// core (or front several behind one address) to scale a host.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", handleRun)
+	mux.HandleFunc("/healthz", handleHealthz)
+	return mux
+}
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var unit WorkUnit
+	if err := json.NewDecoder(r.Body).Decode(&unit); err != nil {
+		http.Error(w, fmt.Sprintf("bad work unit: %v", err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	for _, spec := range unit.Cells {
+		if r.Context().Err() != nil {
+			return // coordinator hung up; stop burning cycles
+		}
+		if err := enc.Encode(RunCell(spec)); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ok": true, "kinds": scenario.List()})
+}
+
+// HTTP is a coordinator-side worker backed by a remote daemon.
+type HTTP struct {
+	// Base is the daemon's base URL ("http://host:9137").
+	Base string
+	// Client defaults to http.DefaultClient. Campaigns are long; callers
+	// wanting timeouts should cancel the coordinator context instead of
+	// setting a per-request timeout that would kill healthy long units.
+	Client *http.Client
+}
+
+// Name implements Worker.
+func (h *HTTP) Name() string { return h.Base }
+
+// Run implements Worker.
+func (h *HTTP) Run(ctx context.Context, unit WorkUnit, emit func(CellResult)) error {
+	payload, err := json.Marshal(unit)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+"/run", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", h.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dist: %s: status %s: %s", h.Base, resp.Status, snippet)
+	}
+	br := bufio.NewReader(resp.Body)
+	for range unit.Cells {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("dist: %s: read result: %w", h.Base, err)
+		}
+		var res CellResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("dist: %s: bad result line: %w", h.Base, err)
+		}
+		emit(res)
+	}
+	return nil
+}
+
+// Close implements Worker. HTTP workers hold no per-connection state.
+func (h *HTTP) Close() error { return nil }

@@ -1,0 +1,74 @@
+package dist_test
+
+import (
+	"testing"
+
+	"mcs/internal/dist"
+)
+
+func specsOf(n int) []dist.CellSpec {
+	specs := make([]dist.CellSpec, n)
+	for i := range specs {
+		specs[i] = dist.CellSpec{Index: i}
+	}
+	return specs
+}
+
+func TestPartitionContiguousAndComplete(t *testing.T) {
+	cases := []struct {
+		cells, shard, workers int
+		wantUnits             int
+	}{
+		{10, 1, 2, 10},  // per-cell dispatch
+		{10, 4, 2, 3},   // 4+4+2
+		{10, 100, 2, 1}, // one big unit
+		{10, 0, 2, 5},   // heuristic: ceil(10/8)=2 cells/unit
+		{3, 0, 8, 3},    // more workers than cells: 1 cell/unit
+		{0, 1, 2, 0},    // empty campaign
+	}
+	for _, tc := range cases {
+		units := dist.Partition(specsOf(tc.cells), tc.shard, tc.workers)
+		if len(units) != tc.wantUnits {
+			t.Errorf("Partition(%d cells, shard %d, %d workers) = %d units, want %d",
+				tc.cells, tc.shard, tc.workers, len(units), tc.wantUnits)
+		}
+		// Every cell exactly once, in grid order, with sequential unit IDs.
+		next := 0
+		for i, unit := range units {
+			if unit.ID != i {
+				t.Errorf("unit %d has ID %d", i, unit.ID)
+			}
+			for _, spec := range unit.Cells {
+				if spec.Index != next {
+					t.Fatalf("cell order broken: got index %d, want %d", spec.Index, next)
+				}
+				next++
+			}
+		}
+		if next != tc.cells {
+			t.Errorf("partition covers %d cells, want %d", next, tc.cells)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesCampaigns(t *testing.T) {
+	_, kindA, cellsA, err := expandDoc(`{"kind": "sweep", "seed": 1,
+		"base": {"kind": "banking", "transactions": 50},
+		"grid": {"/discipline": ["edf", "fcfs"]}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kindB, cellsB, err := expandDoc(`{"kind": "sweep", "seed": 2,
+		"base": {"kind": "banking", "transactions": 50},
+		"grid": {"/discipline": ["edf", "fcfs"]}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA := dist.Fingerprint(kindA, cellsA)
+	if fpA != dist.Fingerprint(kindA, cellsA) {
+		t.Error("fingerprint is not stable")
+	}
+	if fpA == dist.Fingerprint(kindB, cellsB) {
+		t.Error("different seeds fingerprint identically")
+	}
+}

@@ -1,0 +1,78 @@
+package dist
+
+// The wire protocol between coordinator and workers: a WorkUnit carries a
+// shard of self-contained cells; the worker answers with exactly one
+// CellResult per cell, in any order, as newline-delimited JSON. The same
+// messages travel over subprocess pipes and over HTTP (POST /run), so the
+// transports are interchangeable and a mixed fleet is well-defined.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"mcs/internal/scenario"
+)
+
+// CellSpec is one executable cell of a campaign: its position in grid
+// order (the merge key), its canonical coordinate key, its derived seed,
+// and the complete scenario document to run. It is scenario.Cell plus the
+// grid index — everything a worker needs, with no campaign context.
+type CellSpec struct {
+	Index int             `json:"index"`
+	Key   string          `json:"key"`
+	Seed  int64           `json:"seed"`
+	Doc   json.RawMessage `json:"doc"`
+}
+
+// WorkUnit is a shard of cells dispatched to one worker as a unit. The ID
+// names the unit across retries and speculative re-dispatches.
+type WorkUnit struct {
+	ID    int        `json:"id"`
+	Cells []CellSpec `json:"cells"`
+}
+
+// CellResult reports one executed cell. Result carries the scenario's
+// envelope on success; Err carries the error text when the scenario itself
+// failed (a deterministic configuration or run error, as opposed to a lost
+// worker, which surfaces as a transport error on the whole unit).
+type CellResult struct {
+	Index  int              `json:"index"`
+	Key    string           `json:"key"`
+	Result *scenario.Result `json:"result,omitempty"`
+	Err    string           `json:"error,omitempty"`
+}
+
+// RunCell executes one cell through the scenario registry — the worker-side
+// entry point shared by every transport. Scenario errors are folded into
+// the CellResult so the unit stream stays one-message-per-cell.
+func RunCell(spec CellSpec) CellResult {
+	res, err := scenario.RunCell(scenario.Cell{Key: spec.Key, Doc: spec.Doc, Seed: spec.Seed})
+	if err != nil {
+		return CellResult{Index: spec.Index, Key: spec.Key, Err: err.Error()}
+	}
+	return CellResult{Index: spec.Index, Key: spec.Key, Result: res}
+}
+
+// Specs converts expanded sweep cells into indexed cell specs.
+func Specs(cells []scenario.Cell) []CellSpec {
+	specs := make([]CellSpec, len(cells))
+	for i, c := range cells {
+		specs[i] = CellSpec{Index: i, Key: c.Key, Seed: c.Seed, Doc: c.Doc}
+	}
+	return specs
+}
+
+// Fingerprint names a campaign by content: an FNV-1a hash over the base
+// kind and every cell's key, seed, and document. Checkpoints bind to it so
+// a resume against a different campaign is rejected instead of silently
+// merging foreign results. Execution knobs (worker count, shard size,
+// parallelism) are deliberately excluded — they may change across a resume.
+func Fingerprint(baseKind string, cells []scenario.Cell) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", baseKind, len(cells))
+	for _, c := range cells {
+		fmt.Fprintf(h, "|%s|%d|%s", c.Key, c.Seed, c.Doc)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

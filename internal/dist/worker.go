@@ -1,0 +1,181 @@
+package dist
+
+// The execution side of the protocol. A Worker runs work units for the
+// coordinator; the three implementations differ only in where the cells
+// execute: Local (this process), Subprocess (a `mcsim -worker` child over
+// pipes), and HTTP (http.go, a remote daemon). ServeStdio is the loop the
+// subprocess child runs — the exact mirror of Subprocess.Run.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Worker executes work units on behalf of the coordinator.
+type Worker interface {
+	// Name identifies the worker in failure records and logs.
+	Name() string
+	// Run executes the unit, calling emit once per cell as results become
+	// available, in any order. A nil return means every cell was emitted
+	// (scenario errors ride inside CellResult.Err). A non-nil return means
+	// the worker itself failed mid-unit — the coordinator retires it and
+	// reassigns the cells that were not emitted.
+	Run(ctx context.Context, unit WorkUnit, emit func(CellResult)) error
+	// Close releases the worker's resources; for process-backed workers it
+	// also forces any in-flight Run to return. Safe to call concurrently
+	// with Run and more than once.
+	Close() error
+}
+
+// Local executes cells in-process, sequentially. It is the degenerate
+// transport — no serialization at all — used for tests, examples, and as
+// the reference the report-byte-identity tests compare every other
+// transport against.
+type Local struct {
+	ID int
+}
+
+// Name implements Worker.
+func (l *Local) Name() string { return fmt.Sprintf("local-%d", l.ID) }
+
+// Run implements Worker.
+func (l *Local) Run(ctx context.Context, unit WorkUnit, emit func(CellResult)) error {
+	for _, spec := range unit.Cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		emit(RunCell(spec))
+	}
+	return nil
+}
+
+// Close implements Worker.
+func (l *Local) Close() error { return nil }
+
+// ServeStdio is the subprocess worker loop (`mcsim -worker`): one WorkUnit
+// per input line, one CellResult line per cell on out, until EOF. The
+// coordinator keeps one unit in flight per worker, so the loop never needs
+// to interleave units.
+func ServeStdio(in io.Reader, out io.Writer) error {
+	br := bufio.NewReader(in)
+	enc := json.NewEncoder(out)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var unit WorkUnit
+			if err := json.Unmarshal(line, &unit); err != nil {
+				return fmt.Errorf("dist: worker read unit: %w", err)
+			}
+			for _, spec := range unit.Cells {
+				if err := enc.Encode(RunCell(spec)); err != nil {
+					return fmt.Errorf("dist: worker write result: %w", err)
+				}
+			}
+		}
+		if readErr == io.EOF {
+			return nil
+		}
+		if readErr != nil {
+			return fmt.Errorf("dist: worker read: %w", readErr)
+		}
+	}
+}
+
+// Subprocess drives one worker child process over its stdin/stdout. The
+// child runs ServeStdio (mcsim -worker does); any argv whose process
+// honors the protocol works, which is how tests substitute themselves for
+// the real binary.
+type Subprocess struct {
+	name  string
+	cmd   *exec.Cmd
+	in    io.WriteCloser
+	out   *bufio.Reader
+	close sync.Once
+}
+
+// StartSubprocess launches argv with the given extra environment (appended
+// to the parent's) and returns the worker once its pipes are connected.
+// The child's stderr passes through to the parent's, so worker-side
+// diagnostics stay visible.
+func StartSubprocess(argv []string, extraEnv ...string) (*Subprocess, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("dist: subprocess worker needs a command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	if len(extraEnv) > 0 {
+		cmd.Env = append(cmd.Environ(), extraEnv...)
+	}
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: start worker %q: %w", argv[0], err)
+	}
+	return &Subprocess{
+		name: fmt.Sprintf("subprocess-%d", cmd.Process.Pid),
+		cmd:  cmd,
+		in:   in,
+		out:  bufio.NewReader(out),
+	}, nil
+}
+
+// Name implements Worker.
+func (s *Subprocess) Name() string { return s.name }
+
+// Run implements Worker: write the unit, read exactly one result line per
+// cell. A dead child surfaces as a pipe error or EOF here — the
+// coordinator's worker-lost path.
+func (s *Subprocess) Run(ctx context.Context, unit WorkUnit, emit func(CellResult)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(unit)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if _, err := s.in.Write(payload); err != nil {
+		return fmt.Errorf("dist: %s: send unit: %w", s.name, err)
+	}
+	for range unit.Cells {
+		line, err := s.out.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("dist: %s: read result: %w", s.name, err)
+		}
+		var res CellResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("dist: %s: bad result line: %w", s.name, err)
+		}
+		emit(res)
+	}
+	return nil
+}
+
+// Close implements Worker: closing stdin ends a healthy child's ServeStdio
+// loop; the kill forces a straggler (or a child blocked mid-cell) to exit
+// so a concurrent Run unblocks. Wait reaps the process either way.
+func (s *Subprocess) Close() error {
+	s.close.Do(func() {
+		s.in.Close()
+		if s.cmd.Process != nil {
+			s.cmd.Process.Kill()
+		}
+		// The exit status is uninteresting — we killed it — but the wait
+		// must happen so the child does not linger as a zombie.
+		s.cmd.Wait()
+	})
+	return nil
+}

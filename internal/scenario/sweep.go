@@ -126,7 +126,7 @@ func ExpandGrid(cfg SweepJSON) ([]Cell, error) {
 			if err != nil {
 				return nil, err
 			}
-			seed := deriveSeed(cfg.Seed, key)
+			seed := DeriveSeed(cfg.Seed, key)
 			// A grid that sweeps /seed explicitly owns the seed: a single
 			// run gets the exact swept value; repetitions re-derive from
 			// it (keyed by #rep) so reps stay distinct runs either way.
@@ -140,7 +140,7 @@ func ExpandGrid(cfg SweepJSON) ([]Cell, error) {
 					return nil, fmt.Errorf("sweep: swept seed %v: %w", n, err)
 				}
 				if reps > 1 {
-					seed = deriveSeed(s, key)
+					seed = DeriveSeed(s, key)
 					doc["seed"] = seed
 				} else {
 					seed = s
@@ -264,9 +264,11 @@ func deepCopy(v any) any {
 	}
 }
 
-// deriveSeed mixes the base seed with the cell's canonical key via FNV-1a:
-// stable across grid growth and independent of execution order.
-func deriveSeed(base int64, cellKey string) int64 {
+// DeriveSeed mixes the base seed with a cell's canonical key via FNV-1a:
+// stable across grid growth and independent of execution order. Exported so
+// external campaign drivers (internal/dist) can reproduce — and document —
+// the exact per-cell seed a sweep would use.
+func DeriveSeed(base int64, cellKey string) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s", base, cellKey)
 	seed := int64(h.Sum64() & 0x7fffffffffffffff)
@@ -303,32 +305,66 @@ func (s *sweepScenario) Example() string { return SweepExampleJSON }
 
 // Configure implements Scenario.
 func (s *sweepScenario) Configure(raw json.RawMessage) error {
-	var cfg SweepJSON
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		return err
-	}
-	env, err := ParseEnvelope(cfg.Base)
-	if err != nil {
-		return fmt.Errorf("sweep: base: %w", err)
-	}
-	if env.Kind == "sweep" {
-		return fmt.Errorf("sweep: nested sweeps are not supported")
-	}
-	if _, ok := Lookup(env.Kind); !ok {
-		return fmt.Errorf("sweep: base kind %q not registered (registered: %v)", env.Kind, List())
-	}
-	cells, err := ExpandGrid(cfg)
+	cfg, baseKind, cells, err := ExpandSweepDocument(raw)
 	if err != nil {
 		return err
 	}
 	s.cfg = cfg
 	s.cells = cells
-	s.baseKind = env.Kind
+	s.baseKind = baseKind
 	s.parallel = cfg.Parallel
 	if s.parallel <= 0 {
 		s.parallel = runtime.GOMAXPROCS(0)
 	}
 	return nil
+}
+
+// ExpandSweepDocument parses and validates a full "sweep" scenario document
+// and expands its grid: the parsed config, the base scenario kind, and the
+// cell list in deterministic grid order. It is the shared front half of
+// every sweep driver — the in-process meta-scenario above and external
+// campaign runners (internal/dist) both start here, so they agree on cell
+// coordinates, documents, and derived seeds by construction.
+func ExpandSweepDocument(raw json.RawMessage) (SweepJSON, string, []Cell, error) {
+	var cfg SweepJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return cfg, "", nil, err
+	}
+	env, err := ParseEnvelope(cfg.Base)
+	if err != nil {
+		return cfg, "", nil, fmt.Errorf("sweep: base: %w", err)
+	}
+	if env.Kind == "sweep" {
+		return cfg, "", nil, fmt.Errorf("sweep: nested sweeps are not supported")
+	}
+	if _, ok := Lookup(env.Kind); !ok {
+		return cfg, "", nil, fmt.Errorf("sweep: base kind %q not registered (registered: %v)", env.Kind, List())
+	}
+	cells, err := ExpandGrid(cfg)
+	if err != nil {
+		return cfg, "", nil, err
+	}
+	return cfg, env.Kind, cells, nil
+}
+
+// RunCell executes one expanded sweep cell through the ordinary registry
+// path and labels the envelope with the cell's coordinates. The in-process
+// sweep worker pool and distributed workers both route through it, which is
+// what makes a distributed combined report byte-identical to a local one.
+func RunCell(cell Cell) (*Result, error) {
+	env, err := ParseEnvelope(cell.Doc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(env.Kind, cell.Seed, cell.Doc)
+	if err != nil {
+		return nil, fmt.Errorf("cell %q: %w", cell.Key, err)
+	}
+	if res.Labels == nil {
+		res.Labels = map[string]string{}
+	}
+	res.Labels["cell"] = cell.Key
+	return res, nil
 }
 
 // Run implements Scenario: execute every cell on its own kernel, sharded
@@ -339,22 +375,7 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 	results := make([]*Result, len(s.cells))
 	errs := make([]error, len(s.cells))
 	runCell := func(i int) {
-		cell := s.cells[i]
-		env, err := ParseEnvelope(cell.Doc)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := Run(env.Kind, cell.Seed, cell.Doc)
-		if err != nil {
-			errs[i] = fmt.Errorf("cell %q: %w", cell.Key, err)
-			return
-		}
-		if res.Labels == nil {
-			res.Labels = map[string]string{}
-		}
-		res.Labels["cell"] = cell.Key
-		results[i] = res
+		results[i], errs[i] = RunCell(s.cells[i])
 	}
 	// A fixed pool of workers pulling cell indices keeps goroutine count at
 	// min(parallel, cells) even for huge campaigns; result order is fixed
@@ -385,15 +406,24 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 		}
 	}
 
-	// Cross-cell summary: every metric that appears in any cell gets
-	// mean/min/max over the cells that report it — or, for a campaign with
-	// repetitions, mean ± 95% confidence-interval half-width, the form
-	// EXPERIMENTS-style figures quote. The CI pools variance *within*
-	// assignment groups (cells are in grid order with repetitions
-	// innermost, so each assignment's replicates are contiguous): it
-	// measures replication uncertainty of a grid point's mean, never the
-	// systematic spread between grid points. Values are accumulated in
-	// grid order, so the summary bytes are worker-count-independent.
+	return CombineSweep(s.baseKind, s.cfg.Repetitions, results), nil
+}
+
+// CombineSweep assembles the combined sweep report from per-cell result
+// envelopes in grid order: the envelopes travel in Cells, and Metrics
+// carries the cross-cell summary — every metric that appears in any cell
+// gets mean/min/max over the cells that report it, or, for a campaign with
+// repetitions, mean ± 95% confidence-interval half-width, the form
+// EXPERIMENTS-style figures quote. The CI pools variance *within*
+// assignment groups (cells are in grid order with repetitions innermost,
+// so each assignment's replicates are contiguous): it measures replication
+// uncertainty of a grid point's mean, never the systematic spread between
+// grid points. Values are accumulated in grid order, so the summary bytes
+// depend only on the cell results — not on worker count, shard size, or
+// completion order. Distributed drivers (internal/dist) call this with
+// results gathered from remote workers; because it is the same function
+// the in-process sweep uses, the combined reports are byte-identical.
+func CombineSweep(baseKind string, repetitions int, results []*Result) *Result {
 	byMetric := map[string][]float64{}
 	var events uint64
 	for _, res := range results {
@@ -403,13 +433,12 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 		}
 	}
 	summary := map[string]float64{"cells": float64(len(results))}
-	reps := s.cfg.Repetitions
 	for name, vals := range byMetric {
 		sm := stats.Summarize(vals)
 		summary[name+".mean"] = sm.Mean
-		if reps > 1 {
-			if len(vals)%reps == 0 {
-				summary[name+".ci95"] = stats.CI95Pooled(vals, len(vals)/reps)
+		if repetitions > 1 {
+			if len(vals)%repetitions == 0 {
+				summary[name+".ci95"] = stats.CI95Pooled(vals, len(vals)/repetitions)
 			} else {
 				// A metric absent from some cells has no group
 				// structure to pool; fall back to the plain CI.
@@ -422,8 +451,8 @@ func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
 	}
 	return &Result{
 		Metrics: summary,
-		Labels:  map[string]string{"base": s.baseKind},
+		Labels:  map[string]string{"base": baseKind},
 		Events:  events,
 		Cells:   results,
-	}, nil
+	}
 }

@@ -36,6 +36,10 @@ var traceCapableConfigs = map[string]string{
 		"arrivalPerHour": 500, "diurnalAmp": 0.8,
 		"horizonHours": 4, "seed": 3
 	}`,
+	"banking": `{
+		"kind": "banking", "transactions": 300, "instantShare": 0.4,
+		"discipline": "edf", "seed": 9
+	}`,
 }
 
 func TestWorkloadProvidersAreCovered(t *testing.T) {
