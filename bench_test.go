@@ -7,11 +7,16 @@ package mcs_test
 // cmd/mcsbench to print the full report tables.
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
+	"mcs/internal/dcmodel"
 	"mcs/internal/experiments"
+	"mcs/internal/federation"
 	"mcs/internal/sim"
+	"mcs/internal/workload"
 )
 
 // benchExperiment runs one experiment per benchmark iteration and fails the
@@ -80,6 +85,52 @@ func BenchmarkKernelThroughput(b *testing.B) {
 	b.Run("afterfunc-nowheel", func(b *testing.B) {
 		bench(b, sim.New(42, sim.WithoutTimingWheel()), afterFunc)
 	})
+}
+
+// BenchmarkFederationMultiSite measures one federated run end to end on an
+// eight-site document — the intra-run parallelism gate. Every site carries
+// its own workload (local-only routing keeps the shards balanced), so the
+// run decomposes into eight equal per-site kernels. parallel=1 is the
+// sequential path the federation always had; parallel=4 shards the site
+// kernels across the bounded pool (internal/par via sim.PartitionedRun).
+// On a multi-core host the parallel=1 : parallel=4 ns/op ratio is the
+// intra-run speedup; both variants are pinned in BENCH_BASELINE.json so
+// benchguard catches a regression in either path. The two variants produce
+// deeply equal results by the pool-size-invariance contract
+// (TestRunPoolSizeInvariance, TestPoolSizeInvariance).
+func BenchmarkFederationMultiSite(b *testing.B) {
+	const numSites = 8
+	sites := make([]federation.Site, numSites)
+	for i := range sites {
+		r := rand.New(rand.NewSource(500 + int64(i)))
+		w, err := workload.Generate(workload.GeneratorConfig{
+			Jobs:    250,
+			Arrival: workload.Poisson{RatePerHour: 900},
+		}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("site-%d", i)
+		sites[i] = federation.Site{
+			Name:    name,
+			Cluster: dcmodel.NewHomogeneous(name, 4, dcmodel.ClassCommodity, 8),
+			Local:   w.Jobs,
+		}
+	}
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			cfg := federation.Config{Seed: 21, Parallel: parallel}
+			for i := 0; i < b.N; i++ {
+				res, err := federation.Run(sites, federation.LocalOnly, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("no jobs completed")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkD1AutoscalerMatrix(b *testing.B)   { benchExperiment(b, "D1") }

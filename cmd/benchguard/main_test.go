@@ -81,6 +81,36 @@ func TestWriteThenCompareRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCompareToleratesBaselineEntriesMissingFromRun(t *testing.T) {
+	// A kernel-only bench run must not trip over baseline entries for
+	// benchmarks that were not piped in (e.g. the federation benchmark):
+	// they get a "missing benchmark" note, not a failure.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	baseline := `{"benchmarks": {
+		"BenchmarkKernelThroughput/schedule":  {"nsPerOp": 199.4},
+		"BenchmarkKernelThroughput/afterfunc": {"nsPerOp": 142.5},
+		"BenchmarkFederationMultiSite/parallel=1": {"nsPerOp": 9999999},
+		"BenchmarkFederationMultiSite/parallel=4": {"nsPerOp": 9999999}
+	}}`
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("kernel-only run failed against a baseline with extra entries: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "missing benchmark") {
+		t.Errorf("no missing-benchmark note in report:\n%s", report)
+	}
+	if !strings.Contains(report, "2 of 4 baseline benchmark(s) compared, 2 missing") {
+		t.Errorf("no comparison summary in report:\n%s", report)
+	}
+	if strings.Contains(report, "FAIL") {
+		t.Errorf("missing benchmarks reported as failures:\n%s", report)
+	}
+}
+
 func TestCompareRejectsEmptyAndDisjoint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	if err := os.WriteFile(path, []byte(`{"benchmarks": {"BenchmarkOther": {"nsPerOp": 10}}}`), 0o644); err != nil {

@@ -36,7 +36,12 @@
 // daemons (cmd/mcsweepd), retries failed cells, checkpoints completed
 // ones for resumable campaigns, and merges per-cell envelopes strictly in
 // grid order — the combined report stays byte-identical to a
-// single-process sweep at any fleet shape.
+// single-process sweep at any fleet shape. The same contract holds inside
+// a single run: scenarios that decompose into independent kernels —
+// federation (one per site) and graph processing (one per algorithm) —
+// shard them across a bounded pool (internal/par via sim.PartitionedRun,
+// the "parallel" document field) with results merged in shard order, so
+// output bytes are identical at any pool size.
 //
 // Workloads flow through a source layer (internal/workload Source:
 // synthetic, inline, or a trace file resolved by the internal/trace

@@ -14,6 +14,7 @@ import (
 	"mcs/internal/dcmodel"
 	"mcs/internal/opendc"
 	"mcs/internal/sched"
+	"mcs/internal/sim"
 	"mcs/internal/workload"
 )
 
@@ -83,11 +84,22 @@ type Config struct {
 	Sched   sched.Config
 	Horizon time.Duration
 	Seed    int64
+	// Parallel bounds the worker pool running the per-site kernels
+	// (0 = GOMAXPROCS, 1 = sequential). Sites are independent
+	// sub-simulations with per-site seeds, so the pool size affects
+	// wall-clock only, never the result.
+	Parallel int
 }
 
 // Run routes every job to a site under the policy, runs each site's
 // datacenter simulation, and merges the results. Delegated jobs pay the
 // destination site's WAN delay on their submit time.
+//
+// The per-site simulations are independent shards — each site gets its own
+// cluster, workload slice, kernel seeded cfg.Seed+siteIndex, and a fresh
+// instance of any stateful scheduling policy — so they execute concurrently
+// on a bounded pool (cfg.Parallel) and fold in site order. The result is
+// byte-identical at any pool size.
 func Run(sites []Site, policy RoutingPolicy, cfg Config) (*Result, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("federation: no sites")
@@ -148,35 +160,53 @@ func Run(sites []Site, policy RoutingPolicy, cfg Config) (*Result, error) {
 		routed[target] = append(routed[target], job)
 	}
 
+	// Each site is one shard: its own cluster, its own routed jobs, its own
+	// kernel seeded cfg.Seed+i (the law the sequential loop always used),
+	// and a fresh copy of any stateful queue policy so concurrent engines
+	// never share policy memory.
+	siteRuns, err := sim.PartitionedRun(len(sites), cfg.Parallel, cfg.Seed,
+		func(i int, k *sim.Kernel) (SiteResult, error) {
+			s := sites[i]
+			jobs := routed[i]
+			sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
+			if len(jobs) == 0 {
+				return SiteResult{Site: s.Name, Jobs: 0}, nil
+			}
+			siteRes, err := opendc.RunOn(k, &opendc.Scenario{
+				Cluster:  s.Cluster,
+				Workload: &workload.Workload{Jobs: jobs},
+				Sched:    cfg.Sched.Fresh(),
+				Horizon:  cfg.Horizon,
+				Seed:     cfg.Seed + int64(i),
+			})
+			if err != nil {
+				return SiteResult{}, fmt.Errorf("federation: site %q: %w", s.Name, err)
+			}
+			return SiteResult{Site: s.Name, Result: siteRes, Jobs: len(jobs)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold strictly in site order: wait samples, counters, and the
+	// core-weighted utilization accumulate exactly as the sequential loop
+	// did, so the merged result never depends on completion order.
 	res := &Result{Policy: policy, Delegated: delegated}
 	var waits []time.Duration
 	var utilNum, utilDen float64
-	for i, s := range sites {
-		jobs := routed[i]
-		sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
-		if len(jobs) == 0 {
-			res.Sites = append(res.Sites, SiteResult{Site: s.Name, Jobs: 0})
+	for i, sr := range siteRuns {
+		res.Sites = append(res.Sites, sr)
+		if sr.Result == nil {
 			continue
 		}
-		siteRes, err := opendc.Run(&opendc.Scenario{
-			Cluster:  s.Cluster,
-			Workload: &workload.Workload{Jobs: jobs},
-			Sched:    cfg.Sched,
-			Horizon:  cfg.Horizon,
-			Seed:     cfg.Seed + int64(i),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("federation: site %q: %w", s.Name, err)
-		}
-		res.Sites = append(res.Sites, SiteResult{Site: s.Name, Result: siteRes, Jobs: len(jobs)})
-		res.Completed += siteRes.Completed
-		res.Failed += siteRes.Failed
-		for _, rec := range siteRes.Records {
+		res.Completed += sr.Result.Completed
+		res.Failed += sr.Result.Failed
+		for _, rec := range sr.Result.Records {
 			if rec.Completed {
 				waits = append(waits, rec.Wait())
 			}
 		}
-		utilNum += siteRes.Utilization * cores[i]
+		utilNum += sr.Result.Utilization * cores[i]
 		utilDen += cores[i]
 	}
 	if len(waits) > 0 {

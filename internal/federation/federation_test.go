@@ -2,10 +2,12 @@ package federation
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"mcs/internal/dcmodel"
+	"mcs/internal/sched"
 	"mcs/internal/workload"
 )
 
@@ -153,6 +155,61 @@ func TestPolicyNames(t *testing.T) {
 			t.Error("empty policy name")
 		}
 	}
+}
+
+// eightSites builds a federation large enough that the per-site worker pool
+// has real shards to schedule, with the stateful fairshare policy exercised
+// via cfg in the invariance test.
+func eightSites(t *testing.T) []Site {
+	t.Helper()
+	sites := make([]Site, 8)
+	for i := range sites {
+		r := rand.New(rand.NewSource(100 + int64(i)))
+		w, err := workload.Generate(workload.GeneratorConfig{
+			Jobs:    40,
+			Arrival: workload.Poisson{RatePerHour: 500},
+		}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = Site{
+			Name:     string(rune('a' + i)),
+			Cluster:  dcmodel.NewHomogeneous(string(rune('a'+i)), 2+i%3, dcmodel.ClassCommodity, 8),
+			WANDelay: time.Duration(i) * time.Second,
+			Local:    w.Jobs,
+		}
+	}
+	return sites
+}
+
+// TestRunPoolSizeInvariance pins the tentpole contract at the API level:
+// the same sites through the same config must produce deeply equal results
+// at any pool size — including repeated runs over the same site slice
+// (clusters are reset per run; jobs are routed as copies) and including the
+// stateful fairshare queue policy, which Run hands to each site as a fresh
+// instance so concurrent sites never share policy memory.
+func TestRunPoolSizeInvariance(t *testing.T) {
+	sites := eightSites(t)
+	base := Config{Seed: 7, Sched: schedFairShare(), Parallel: 1}
+	want, err := Run(sites, LeastLoaded, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 2, 8, 0} {
+		cfg := base
+		cfg.Parallel = parallel
+		got, err := Run(sites, LeastLoaded, cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel=%d result diverges from sequential", parallel)
+		}
+	}
+}
+
+func schedFairShare() sched.Config {
+	return sched.Config{Queue: sched.NewFairShare(), Placement: sched.BestFit{}, Mode: sched.EASY}
 }
 
 func BenchmarkFederatedRun(b *testing.B) {

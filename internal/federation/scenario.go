@@ -47,7 +47,11 @@ type ScenarioJSON struct {
 		Mode      string `json:"mode"`
 	} `json:"scheduler"`
 	HorizonSeconds float64 `json:"horizonSeconds"`
-	Seed           int64   `json:"seed"`
+	// Parallel bounds the worker pool running the per-site kernels
+	// (0 = GOMAXPROCS, 1 = sequential). Like the sweep's parallel knob it
+	// affects wall-clock only, never the result bytes, so it is sweepable.
+	Parallel int   `json:"parallel"`
+	Seed     int64 `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run federation scenario document: a busy
@@ -61,6 +65,7 @@ const ExampleJSON = `{
   ],
   "policy": "least-loaded",
   "scheduler": {"queue": "sjf", "placement": "bestfit", "mode": "easy"},
+  "parallel": 2,
   "seed": 21
 }`
 
@@ -118,9 +123,10 @@ func (f *federationScenario) Configure(raw json.RawMessage) error {
 		return err
 	}
 	f.cfg = Config{
-		Sched:   schedCfg,
-		Horizon: time.Duration(cfg.HorizonSeconds * float64(time.Second)),
-		Seed:    cfg.Seed,
+		Sched:    schedCfg,
+		Horizon:  time.Duration(cfg.HorizonSeconds * float64(time.Second)),
+		Seed:     cfg.Seed,
+		Parallel: cfg.Parallel,
 	}
 	f.sites = f.sites[:0]
 	for i, sj := range cfg.Sites {

@@ -29,7 +29,14 @@ type ScenarioJSON struct {
 	// Engine is "sequential" (default; fully deterministic) or
 	// "parallel-bsp".
 	Engine string `json:"engine"`
-	Seed   int64  `json:"seed"`
+	// Parallel bounds the worker pool running the algorithm shards
+	// (0 = GOMAXPROCS, 1 = sequential). Each algorithm is an independent
+	// read-only pass over the pre-generated graph, so the pool size affects
+	// wall-clock only, never the result bytes. Note that "parallel-bsp"
+	// engines spin their own intra-algorithm workers; combining both knobs
+	// oversubscribes the machine (see DESIGN.md, "Intra-run parallelism").
+	Parallel int   `json:"parallel"`
+	Seed     int64 `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run graph scenario document.
@@ -37,7 +44,7 @@ const ExampleJSON = `{
   "kind": "graph",
   "generator": "rmat", "scale": 12, "edgeFactor": 16,
   "algorithms": ["bfs", "pagerank", "wcc", "cdlp", "lcc", "sssp"],
-  "engine": "sequential", "seed": 9
+  "engine": "sequential", "parallel": 2, "seed": 9
 }`
 
 type graphScenario struct {
@@ -46,6 +53,8 @@ type graphScenario struct {
 	edgeFactor int
 	algorithms []Algorithm
 	engine     Engine
+	parallel   int
+	seed       int64
 }
 
 func init() {
@@ -105,10 +114,18 @@ func (g *graphScenario) Configure(raw json.RawMessage) error {
 	default:
 		return fmt.Errorf("graph scenario: unknown engine %q", cfg.Engine)
 	}
+	g.parallel = cfg.Parallel
+	g.seed = cfg.Seed
 	return nil
 }
 
-// Run implements scenario.Scenario.
+// Run implements scenario.Scenario. The graph is generated once from the
+// runner's kernel RNG; each algorithm then runs as an independent shard —
+// one simulation event on its own sub-kernel — on the bounded worker pool
+// (sim.PartitionedRun). Algorithms only read the shared graph, and their
+// checksums merge in algorithm order, so the result is byte-identical at
+// any pool size; the envelope's event count sums the shard kernels (one
+// event per algorithm, exactly what the sequential loop produced).
 func (g *graphScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	// SSSP needs weights; generating them unconditionally keeps the graph
 	// identical whichever algorithm subset runs.
@@ -121,24 +138,36 @@ func (g *graphScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 		"edges":      float64(graph.NumEdges()),
 		"degreeSkew": graph.DegreeSkew(),
 	}
-	var runErr error
-	for _, alg := range g.algorithms {
-		alg := alg
-		k.AfterFunc(0, func(sim.Time) {
-			if runErr != nil {
-				return
-			}
-			res, err := RunAlgorithm(graph, alg, g.engine)
-			if err != nil {
-				runErr = err
-				return
-			}
-			metrics["checksum."+string(alg)] = res.Checksum
-		})
+	type shard struct {
+		checksum float64
+		events   uint64
 	}
-	k.Run()
-	if runErr != nil {
-		return nil, runErr
+	shards, err := sim.PartitionedRun(len(g.algorithms), g.parallel, g.seed,
+		func(i int, sk *sim.Kernel) (shard, error) {
+			var out shard
+			var runErr error
+			sk.AfterFunc(0, func(sim.Time) {
+				res, err := RunAlgorithm(graph, g.algorithms[i], g.engine)
+				if err != nil {
+					runErr = err
+					return
+				}
+				out.checksum = res.Checksum
+			})
+			sk.Run()
+			if runErr != nil {
+				return out, runErr
+			}
+			out.events = sk.Processed()
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var events uint64
+	for i, s := range shards {
+		metrics["checksum."+string(g.algorithms[i])] = s.checksum
+		events += s.events
 	}
 	return &scenario.Result{
 		Metrics: metrics,
@@ -146,5 +175,6 @@ func (g *graphScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 			"engine":    g.engine.String(),
 			"generator": g.kind.String(),
 		},
+		Events: events,
 	}, nil
 }

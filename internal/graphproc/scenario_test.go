@@ -2,6 +2,7 @@ package graphproc_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"mcs/internal/graphproc"
@@ -54,6 +55,24 @@ func TestGraphScenarioAlgorithmSubsetKeepsGraphShape(t *testing.T) {
 	}
 	if _, ok := one.Metrics["checksum.pagerank"]; ok {
 		t.Error("pagerank checksum reported without pagerank in the subset")
+	}
+}
+
+// TestGraphScenarioEventsCountAlgorithmShards pins the envelope accounting
+// across the shard refactor: each algorithm runs as one event on its own
+// shard kernel, so the event count equals the algorithm count — exactly
+// what the pre-shard sequential loop reported — at any pool size.
+func TestGraphScenarioEventsCountAlgorithmShards(t *testing.T) {
+	for _, parallel := range []int{1, 3} {
+		doc := json.RawMessage(fmt.Sprintf(`{"kind": "graph", "scale": 7, "edgeFactor": 4,
+			"algorithms": ["bfs", "wcc", "sssp"], "parallel": %d, "seed": 5}`, parallel))
+		res, err := scenario.RunDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Events != 3 {
+			t.Errorf("parallel=%d: events = %d, want one per algorithm shard (3)", parallel, res.Events)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+// Package par is the repository's one bounded-worker, ordered-merge
+// parallelism primitive. Every layer that fans independent deterministic
+// work across goroutines — the in-process sweep pool, the federation's
+// per-site kernels, the graph scenario's algorithm shards — routes through
+// MapOrdered, so the invariant they all pin ("output bytes are identical at
+// any pool size") is implemented exactly once.
+//
+// The shape is the chunked-worker fan-out common to simulation codes: a
+// fixed pool of workers pulls item indices from a channel and writes each
+// result into a slot owned by that index. Because every result lands in its
+// index's slot and callers fold the slice front to back, goroutine
+// scheduling can change wall-clock time but never the merged output.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested pool size: non-positive requests default to
+// GOMAXPROCS, and the pool never exceeds the number of items (nor drops
+// below one).
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MapOrdered runs fn(i) for every i in [0,n) on a pool of at most workers
+// goroutines and returns the n results in index order. workers is clamped
+// by Workers; workers == 1 runs inline on the calling goroutine, which is
+// byte-for-byte the sequential behavior the pool generalizes.
+//
+// Every index runs regardless of other indices' errors — shards are
+// independent simulations, so there is nothing to cancel and the completed
+// slots stay valid. The returned error is the lowest-index one, which makes
+// the surfaced error independent of goroutine scheduling too.
+func MapOrdered[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	if workers = Workers(workers, n); workers == 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, firstError(errs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

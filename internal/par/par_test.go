@@ -1,0 +1,125 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcs/internal/par"
+)
+
+func TestMapOrderedReturnsResultsInIndexOrder(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 8, n, n + 50} {
+		got, err := par.MapOrdered(n, workers, func(i int) (int, error) {
+			// Stagger completion so late indices tend to finish first;
+			// order must come from the merge, not from timing.
+			time.Sleep(time.Duration(n-i) * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapOrderedBoundsConcurrency(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, workers := range []int{1, 2, 4} {
+		var inFlight, peak atomic.Int64
+		_, err := par.MapOrdered(64, workers, func(i int) (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := peak.Load(); got > int64(workers) {
+			t.Errorf("workers=%d: observed %d concurrent shards", workers, got)
+		}
+	}
+}
+
+func TestMapOrderedRunsEveryShardAndReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		results, err := par.MapOrdered(10, workers, func(i int) (int, error) {
+			ran.Add(1)
+			switch i {
+			case 7:
+				return 0, errA
+			case 3:
+				// The higher-index shard may well finish first; the merge
+				// must still surface index 3's error.
+				return 0, errB
+			}
+			return i, nil
+		})
+		if ran.Load() != 10 {
+			t.Errorf("workers=%d: ran %d of 10 shards", workers, ran.Load())
+		}
+		if !errors.Is(err, errB) {
+			t.Errorf("workers=%d: err = %v, want lowest-index %v", workers, err, errB)
+		}
+		if results[5] != 5 {
+			t.Errorf("workers=%d: successful shard result lost: %v", workers, results[5])
+		}
+	}
+}
+
+func TestMapOrderedZeroItems(t *testing.T) {
+	got, err := par.MapOrdered(0, 4, func(int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestWorkersClamping(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, items, want int
+	}{
+		{0, 100, min(maxProcs, 100)},
+		{-3, 100, min(maxProcs, 100)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := par.Workers(c.requested, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.items, got, c.want)
+		}
+	}
+}
+
+func ExampleMapOrdered() {
+	squares, _ := par.MapOrdered(4, 2, func(i int) (int, error) {
+		return i * i, nil
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4 9]
+}

@@ -1,0 +1,85 @@
+package scenario_test
+
+// Pool-size invariance (the intra-run parallelism contract, see DESIGN.md
+// "Intra-run parallelism"): a scenario whose document carries a "parallel"
+// field must produce byte-identical Result envelopes at any pool size —
+// worker count is a wall-clock knob, never a semantics knob. This is the
+// same invariant the sweep and dist layers pin for cross-run parallelism,
+// extended to the shards inside one run. The suite runs under -race in CI,
+// which also makes it the data-race probe for the shard implementations.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mcs/internal/scenario"
+
+	// Register the shard-capable ecosystem scenarios.
+	_ "mcs/internal/federation"
+	_ "mcs/internal/graphproc"
+)
+
+// parallelDocs maps each shard-capable kind to a document template with one
+// %d slot for the "parallel" value. The federation document uses eight
+// loaded sites and the stateful fairshare queue policy — the hardest case,
+// since per-site policy state must be independent for the invariance to
+// hold; the graph document runs all six algorithm shards twice over
+// (sequential engine) plus the nested parallel-bsp engine case.
+var parallelDocs = map[string]string{
+	"federation": `{
+		"kind": "federation",
+		"sites": [
+			{"name": "s0", "machines": 2, "jobs": 30, "pattern": "bursty"},
+			{"name": "s1", "machines": 3, "jobs": 30, "pattern": "poisson", "wanDelaySeconds": 1},
+			{"name": "s2", "machines": 2, "jobs": 30, "pattern": "diurnal", "wanDelaySeconds": 2},
+			{"name": "s3", "machines": 4, "jobs": 30},
+			{"name": "s4", "machines": 2, "jobs": 30, "shape": "chain"},
+			{"name": "s5", "machines": 3, "jobs": 30, "wanDelaySeconds": 3},
+			{"name": "s6", "machines": 2, "jobs": 30, "pattern": "bursty"},
+			{"name": "s7", "machines": 2, "jobs": 30}
+		],
+		"policy": "least-loaded",
+		"scheduler": {"queue": "fairshare", "placement": "bestfit", "mode": "easy"},
+		"parallel": %d, "seed": 33
+	}`,
+	"graph": `{
+		"kind": "graph",
+		"generator": "rmat", "scale": 9, "edgeFactor": 8,
+		"engine": "sequential",
+		"parallel": %d, "seed": 11
+	}`,
+	"graph-bsp": `{
+		"kind": "graph",
+		"generator": "er", "scale": 8, "edgeFactor": 8,
+		"engine": "parallel-bsp",
+		"parallel": %d, "seed": 5
+	}`,
+}
+
+func TestPoolSizeInvariance(t *testing.T) {
+	for name, tmpl := range parallelDocs {
+		t.Run(name, func(t *testing.T) {
+			var want []byte
+			for _, parallel := range []int{1, 2, 8} {
+				doc := json.RawMessage(fmt.Sprintf(tmpl, parallel))
+				res, err := scenario.RunDocument(doc)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				got, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if string(got) != string(want) {
+					t.Errorf("parallel=%d diverges from parallel=1:\n  1: %s\n  %d: %s",
+						parallel, want, parallel, got)
+				}
+			}
+		})
+	}
+}

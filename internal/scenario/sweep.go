@@ -18,12 +18,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
+	"mcs/internal/par"
 	"mcs/internal/sim"
 	"mcs/internal/stats"
 )
@@ -312,10 +311,9 @@ func (s *sweepScenario) Configure(raw json.RawMessage) error {
 	s.cfg = cfg
 	s.cells = cells
 	s.baseKind = baseKind
+	// Pool-size defaulting (0 = GOMAXPROCS, capped at the cell count) is
+	// par.Workers' job; keep the document value verbatim.
 	s.parallel = cfg.Parallel
-	if s.parallel <= 0 {
-		s.parallel = runtime.GOMAXPROCS(0)
-	}
 	return nil
 }
 
@@ -368,44 +366,20 @@ func RunCell(cell Cell) (*Result, error) {
 }
 
 // Run implements Scenario: execute every cell on its own kernel, sharded
-// across the worker pool, then assemble the combined report in grid order.
-// The runner's kernel is unused (each cell gets a fresh kernel through the
-// ordinary Run path); the envelope's event count sums the cells.
+// across the repository's one bounded ordered-parallel pool (par.MapOrdered
+// — the same primitive the federation's per-site kernels and the graph
+// scenario's algorithm shards ride), then assemble the combined report in
+// grid order. Result order is fixed by cell index, so scheduling never
+// leaks into the report. The runner's kernel is unused (each cell gets a
+// fresh kernel through the ordinary Run path); the envelope's event count
+// sums the cells.
 func (s *sweepScenario) Run(_ *sim.Kernel) (*Result, error) {
-	results := make([]*Result, len(s.cells))
-	errs := make([]error, len(s.cells))
-	runCell := func(i int) {
-		results[i], errs[i] = RunCell(s.cells[i])
+	results, err := par.MapOrdered(len(s.cells), s.parallel, func(i int) (*Result, error) {
+		return RunCell(s.cells[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	// A fixed pool of workers pulling cell indices keeps goroutine count at
-	// min(parallel, cells) even for huge campaigns; result order is fixed
-	// by index, so scheduling never leaks into the report.
-	workers := s.parallel
-	if workers > len(s.cells) {
-		workers = len(s.cells)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				runCell(i)
-			}
-		}()
-	}
-	for i := range s.cells {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	return CombineSweep(s.baseKind, s.cfg.Repetitions, results), nil
 }
 

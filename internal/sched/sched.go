@@ -330,6 +330,45 @@ type Config struct {
 	MaxRetries int
 }
 
+// Stateful is implemented by queue policies that accumulate runtime state
+// (fair-share usage accounts, portfolio scores). Fresh returns a new
+// instance of the same policy with reset state, so independent engines —
+// concurrent federation sites, parallel sweep cells — never share or race
+// on policy memory.
+type Stateful interface {
+	Fresh() QueuePolicy
+}
+
+// Fresh implements Stateful: a fair-share policy with empty usage accounts.
+func (f *FairShare) Fresh() QueuePolicy { return NewFairShare() }
+
+// Fresh implements Stateful: a portfolio over fresh instances of the same
+// member policies, with scores and exploration state reset.
+func (p *Portfolio) Fresh() QueuePolicy {
+	members := make([]QueuePolicy, len(p.Policies))
+	for i, m := range p.Policies {
+		if s, ok := m.(Stateful); ok {
+			m = s.Fresh()
+		}
+		members[i] = m
+	}
+	fresh := NewPortfolio(members...)
+	fresh.Epoch = p.Epoch
+	return fresh
+}
+
+// Fresh returns a config safe to hand to an independent engine running
+// concurrently with others built from the same config: stateless policies
+// are shared as-is (they carry no memory), stateful ones are replaced by
+// fresh instances. Placement policies in this package are stateless, so
+// only the queue policy needs freshening.
+func (c Config) Fresh() Config {
+	if s, ok := c.Queue.(Stateful); ok {
+		c.Queue = s.Fresh()
+	}
+	return c
+}
+
 // Named returns a human-readable identifier for the configuration.
 func (c Config) Named() string {
 	q, p := "fcfs", "firstfit"

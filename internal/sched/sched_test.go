@@ -177,6 +177,50 @@ func TestConfigNamed(t *testing.T) {
 	}
 }
 
+func TestConfigFreshResetsStatefulQueuePolicies(t *testing.T) {
+	// Stateless policies pass through unchanged (same instance is fine).
+	c := Config{Queue: SJF{}, Placement: BestFit{}, Mode: EASY, MaxRetries: 3}
+	if got := c.Fresh(); got != c {
+		t.Errorf("stateless config changed under Fresh: %+v", got)
+	}
+
+	// Fair-share: charged usage must not leak into the fresh instance.
+	fs := NewFairShare()
+	fs.Charge("alice", 1e6)
+	fresh := Config{Queue: fs}.Fresh()
+	ffs, ok := fresh.Queue.(*FairShare)
+	if !ok {
+		t.Fatalf("Fresh queue is %T, want *FairShare", fresh.Queue)
+	}
+	if ffs == fs {
+		t.Error("Fresh returned the same fair-share instance")
+	}
+	if len(ffs.usage) != 0 {
+		t.Errorf("fresh fair-share carries usage %v", ffs.usage)
+	}
+
+	// Portfolio: members are freshened recursively, epoch is kept, scores
+	// and exploration state reset.
+	inner := NewFairShare()
+	inner.Charge("bob", 42)
+	p := NewPortfolio(inner, SJF{})
+	p.Epoch = 5 * time.Minute
+	p.TaskCompleted(10*time.Minute, time.Minute, time.Minute) // mutate state
+	fp, ok := Config{Queue: p}.Fresh().Queue.(*Portfolio)
+	if !ok {
+		t.Fatal("Fresh portfolio lost its type")
+	}
+	if fp == p || fp.Epoch != p.Epoch || fp.current != 0 || fp.explored != 0 {
+		t.Errorf("portfolio not fresh: %+v", fp)
+	}
+	if fin, ok := fp.Policies[0].(*FairShare); !ok || len(fin.usage) != 0 {
+		t.Errorf("portfolio member not freshened: %#v", fp.Policies[0])
+	}
+	if _, ok := fp.Policies[1].(SJF); !ok {
+		t.Errorf("stateless member changed type: %T", fp.Policies[1])
+	}
+}
+
 func batchTasks(runtimes ...time.Duration) []workload.Task {
 	out := make([]workload.Task, len(runtimes))
 	for i, rt := range runtimes {
