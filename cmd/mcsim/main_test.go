@@ -33,8 +33,8 @@ func TestExampleScenarioBuildsAndRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sc.Failures == nil {
-		t.Error("example enables failures but scenario has none")
+	if sc.FailureSource == nil {
+		t.Error("example enables failures but scenario has no failure source")
 	}
 	if sc.Horizon != 2*time.Hour {
 		t.Errorf("horizon=%v", sc.Horizon)
@@ -262,23 +262,38 @@ func TestRunnerDispatchesEveryKind(t *testing.T) {
 }
 
 func TestFailureModelSelection(t *testing.T) {
+	// The deprecated legacy shorthands still select the model: groupMean 1
+	// is the independent regime, groupMean > 1 the correlated one.
 	cfg := ScenarioConfig{}
-	cfg.Failures.Enabled = true
-	cfg.Failures.GroupMean = 1 // independent
+	cfg.Failures = &scenario.FailuresJSON{MTBFSeconds: 3600, GroupMean: 1}
 	sc, err := BuildScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sc.Failures == nil {
+	if sc.FailureSource == nil {
 		t.Fatal("failures not enabled")
+	}
+	ov, err := cfg.FailureOverlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Model.SameRackBias != 0 {
+		t.Errorf("independent regime has rack bias %v", ov.Model.SameRackBias)
 	}
 	cfg.Failures.GroupMean = 8 // correlated
 	sc2, err := BuildScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sc2.Failures == nil {
+	if sc2.FailureSource == nil {
 		t.Fatal("correlated failures not enabled")
+	}
+	ov2, err := cfg.FailureOverlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov2.Model.SameRackBias != 0.8 {
+		t.Errorf("correlated regime rack bias = %v, want 0.8", ov2.Model.SameRackBias)
 	}
 }
 

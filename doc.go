@@ -50,6 +50,22 @@
 // exported trace to a byte-identical result; see examples/tracereplay
 // and `mcsim -export-trace`.
 //
+// Every scenario document shares a typed header (scenario.Common — kind,
+// seed, parallel, the workload block, and the failures overlay) that
+// adapters embed instead of re-declaring. The "failures" section declares
+// a correlated-failure model by distribution name (MTBF, repair, group
+// size, rack bias — the paper's §2.2 problem statement); the overlay draws
+// one deterministic timeline from the document seed (never the kernel RNG)
+// and each capacity-modeling kind (datacenter, federation, faas, gaming)
+// applies the unavailability windows to its own resources, reporting
+// availability, downtime, and SLO-violation metrics in the result
+// envelope. Because the section rides the document schema, every failure
+// parameter is a JSON-pointer sweep axis ("/failures/mtbf/mean") —
+// resilience campaigns distribute like any other sweep with byte-identical
+// merged reports; see examples/resilience. `mcsim -strict` re-parses any
+// document against its kind's published schema and rejects misspelled
+// fields by name.
+//
 // Start with examples/quickstart, run any registered scenario with
 // cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns,
 // -distributed shards them across worker processes and machines,

@@ -1,0 +1,128 @@
+// Resilience demonstrates — and proves — the failure-injection contract
+// (internal/failure + scenario.FailureOverlay): an MTBF × group-size grid
+// over the datacenter kind is swept twice, with a single worker and with
+// four, and the combined reports are compared byte for byte; then a
+// federation document with failures enabled runs at three per-site
+// worker-pool sizes, again byte-compared. Failure timelines are drawn from
+// the document seed — never the kernel RNG — so neither the sweep pool nor
+// the intra-run pool may move a single byte. Any divergence exits
+// non-zero, which is why CI runs this example as its resilience smoke job.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mcs/internal/scenario"
+
+	// Ecosystem packages register the campaign's scenario kinds.
+	_ "mcs/internal/federation"
+	_ "mcs/internal/opendc"
+)
+
+// campaign crosses mean-time-between-failures against failure group size
+// on a 16-machine cluster: the what-if portfolio of a resilience study.
+// Every axis is an ordinary JSON-pointer path into the failures section.
+const campaign = `{
+  "kind": "sweep", "seed": 7, "parallel": %d,
+  "base": {
+    "kind": "datacenter", "machines": 16, "rackSize": 4,
+    "workload": {"jobs": 120, "pattern": "bursty"},
+    "horizonSeconds": 28800,
+    "failures": {
+      "mtbf": {"dist": "weibull", "mean": 7200, "shape": 0.6},
+      "repair": {"dist": "lognormal", "mean": 900},
+      "groupSize": {"dist": "const", "value": 1},
+      "rackBias": 0.8,
+      "slo": {"availability": 0.995, "windowSeconds": 3600}
+    }
+  },
+  "grid": {
+    "/failures/mtbf/mean": [1800, 3600, 7200],
+    "/failures/groupSize/value": [1, 4]
+  }
+}`
+
+// federated is the same failure model over a two-site federation; the
+// overlay hands each site an independent document-seeded stream
+// (ShardSource), which is what makes the pool-size proof below possible.
+const federated = `{
+  "kind": "federation", "seed": 11, "parallel": %d,
+  "sites": [
+    {"name": "a", "machines": 4, "jobs": 40, "pattern": "bursty"},
+    {"name": "b", "machines": 8}
+  ],
+  "policy": "least-loaded",
+  "failures": {
+    "mtbf": {"dist": "weibull", "mean": 7200, "shape": 0.6},
+    "repair": {"dist": "lognormal", "mean": 900},
+    "slo": {"availability": 0.995, "windowSeconds": 3600}
+  }
+}`
+
+func main() {
+	if err := prove(); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func prove() error {
+	// 1. Reference: the failure sweep on a single worker.
+	doc := fmt.Sprintf(campaign, 1)
+	res, err := scenario.RunDocument(json.RawMessage(doc))
+	if err != nil {
+		return err
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-52s %-12s %s\n", "cell", "availability", "sloViolationRate")
+	for _, cell := range res.Cells {
+		fmt.Printf("%-52s %-12.4f %.4f\n",
+			cell.Labels["cell"], cell.Metrics["availability"], cell.Metrics["sloViolationRate"])
+	}
+
+	// 2. The same campaign on four workers must not move a byte.
+	res4, err := scenario.RunDocument(json.RawMessage(fmt.Sprintf(campaign, 4)))
+	if err != nil {
+		return err
+	}
+	got, err := json.Marshal(res4)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("4-worker sweep report diverged from 1-worker report")
+	}
+	fmt.Printf("sweep: %d cells byte-identical on 1 and 4 workers\n", len(res.Cells))
+
+	// 3. Federation with failures at three per-site pool sizes.
+	var fedWant []byte
+	for _, parallel := range []int{1, 2, 4} {
+		res, err := scenario.RunDocument(json.RawMessage(fmt.Sprintf(federated, parallel)))
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		if fedWant == nil {
+			fedWant = b
+			fmt.Printf("federation: availability %.4f across %d sites\n",
+				res.Metrics["availability"], int(res.Metrics["sites"]))
+			continue
+		}
+		if !bytes.Equal(b, fedWant) {
+			return fmt.Errorf("federation report diverged at parallel=%d", parallel)
+		}
+	}
+	fmt.Println("federation report byte-identical at pool sizes 1, 2, 4")
+	return nil
+}

@@ -20,8 +20,10 @@ import (
 	"mcs/internal/stats"
 )
 
-// ScenarioJSON is the JSON schema of the "autoscale" scenario.
+// ScenarioJSON is the JSON schema of the "autoscale" scenario. The header
+// fields (kind, seed) come from the embedded scenario.Common.
 type ScenarioJSON struct {
+	scenario.Common
 	// Policy selects the autoscaler: react, adapt, hist, reg, conpaas,
 	// token, plan (default react).
 	Policy string `json:"policy"`
@@ -42,7 +44,6 @@ type ScenarioJSON struct {
 	MaxStep       int     `json:"maxStep"`       // adapt
 	Percentile    float64 `json:"percentile"`    // hist
 	WindowMinutes float64 `json:"windowMinutes"` // reg, conpaas, plan
-	Seed          int64   `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run autoscale scenario document.
@@ -155,6 +156,9 @@ func (a *autoscaleScenario) Configure(raw json.RawMessage) error {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	if err := cfg.RejectFailures("autoscale"); err != nil {
+		return err
+	}
 	policy, err := PolicyByName(cfg.Policy, cfg)
 	if err != nil {
 		return err
@@ -191,6 +195,9 @@ func (a *autoscaleScenario) Configure(raw json.RawMessage) error {
 	}
 	return nil
 }
+
+// Schema implements scenario.Schemer (mcsim -strict).
+func (a *autoscaleScenario) Schema() any { return &ScenarioJSON{} }
 
 // Run implements scenario.Scenario: draw the demand curve from the kernel's
 // deterministic RNG, replay it against the policy as kernel events, and

@@ -24,8 +24,13 @@ import (
 	"mcs/internal/workload"
 )
 
-// ScenarioJSON is the JSON schema of the "banking" scenario.
+// ScenarioJSON is the JSON schema of the "banking" scenario. The header
+// fields (kind, seed, the workload trace reference) come from the embedded
+// scenario.Common: a trace file named there replays through the format
+// registry; an empty reference synthesizes from Transactions/InstantShare
+// and the document seed.
 type ScenarioJSON struct {
+	scenario.Common
 	// Transactions is the size of the daily workload (default 5000).
 	Transactions int `json:"transactions"`
 	// InstantShare is the fraction of transactions with a 10-second instant
@@ -33,11 +38,6 @@ type ScenarioJSON struct {
 	InstantShare float64 `json:"instantShare"`
 	// Discipline is "fcfs" or "edf" (default "edf").
 	Discipline string `json:"discipline"`
-	// Workload selects the transaction source: a trace file replays through
-	// the format registry; empty synthesizes from Transactions/InstantShare
-	// and the document seed.
-	Workload trace.Ref `json:"workload"`
-	Seed     int64     `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run banking scenario document.
@@ -76,6 +76,9 @@ func (b *bankingScenario) Configure(raw json.RawMessage) error {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	if err := cfg.RejectFailures("banking"); err != nil {
+		return err
+	}
 	if cfg.Transactions <= 0 {
 		cfg.Transactions = 5000
 	}
@@ -91,7 +94,7 @@ func (b *bankingScenario) Configure(raw json.RawMessage) error {
 		return fmt.Errorf("banking scenario: unknown discipline %q", cfg.Discipline)
 	}
 	count, share := cfg.Transactions, cfg.InstantShare
-	src := trace.SourceFor(cfg.Workload, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
+	src := trace.SourceFor(cfg.Workload.Ref, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
 		return GenerateWorkload(count, share, r), nil
 	})
 	w, err := src.Load()
@@ -101,6 +104,9 @@ func (b *bankingScenario) Configure(raw json.RawMessage) error {
 	b.w = w
 	return nil
 }
+
+// Schema implements scenario.Schemer (mcsim -strict).
+func (b *bankingScenario) Schema() any { return &ScenarioJSON{} }
 
 // Run implements scenario.Scenario.
 func (b *bankingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {

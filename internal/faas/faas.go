@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"mcs/internal/failure"
 	"mcs/internal/sim"
 	"mcs/internal/stats"
 )
@@ -82,6 +83,11 @@ type Result struct {
 	InstanceSeconds float64
 	// PeakInstances is the maximum concurrently existing instances.
 	PeakInstances int
+	// FailureKills counts instances evicted by host-slot failures;
+	// FailureRestarts counts in-flight calls those evictions re-dispatched.
+	// Both stay zero without failure injection.
+	FailureKills    int
+	FailureRestarts int
 	// LayerEvents counts simulation events attributed to each Figure-5
 	// layer, mapping the run back onto the reference architecture.
 	LayerEvents map[string]uint64
@@ -101,6 +107,24 @@ type Platform struct {
 	instances   int
 	peak        int
 	layerEvents map[string]uint64
+
+	// Failure-injection state (inactive while slots == 0, which keeps the
+	// failure-free event stream byte-identical to the pre-injection
+	// platform). Instances occupy host slots; a failure event takes slots
+	// down for its repair duration, evicting idle instances first and then
+	// the most recently started executions, whose calls re-dispatch.
+	slots           int
+	downSlots       int
+	inflight        []*inflightRun
+	failureKills    int
+	failureRestarts int
+}
+
+type inflightRun struct {
+	st   *fnState
+	inst *instance
+	call *pendingCall
+	done *sim.Event
 }
 
 type fnState struct {
@@ -196,11 +220,18 @@ func (p *Platform) dispatch(name string, call *pendingCall) {
 		p.execute(st, inst, call, false)
 		return
 	}
-	if st.total < p.cfg.MaxInstances {
+	if st.total < p.cfg.MaxInstances && p.hasCapacity() {
 		p.coldStart(st, call)
 		return
 	}
 	st.queue = append(st.queue, call)
+}
+
+// hasCapacity reports whether an up host slot is free for a new instance.
+// Without failure injection (slots == 0) capacity is unbounded, preserving
+// the platform's original per-function-limit-only behavior.
+func (p *Platform) hasCapacity() bool {
+	return p.slots == 0 || p.instances < p.slots-p.downSlots
 }
 
 // coldStart is the Resource Orchestration layer creating an instance.
@@ -231,7 +262,7 @@ func (p *Platform) execute(st *fnState, inst *instance, call *pendingCall, cold 
 		}
 		exec = time.Duration(execSec * float64(time.Second))
 	}
-	p.k.AfterFunc(exec, func(now sim.Time) {
+	complete := func(now sim.Time) {
 		st.busy--
 		rec := Record{
 			Function: st.fn.Name,
@@ -253,7 +284,30 @@ func (p *Platform) execute(st *fnState, inst *instance, call *pendingCall, cold 
 		}
 		st.idle = append(st.idle, inst)
 		inst.timer.Reset(p.cfg.IdleTimeout)
+	}
+	if p.slots == 0 {
+		// Failure-free fast path: completions are fire-and-forget.
+		p.k.AfterFunc(exec, complete)
+		return
+	}
+	// With failure injection active the completion must be cancellable, so a
+	// host-slot failure can abort the execution and re-dispatch the call.
+	run := &inflightRun{st: st, inst: inst, call: call}
+	run.done = p.k.MustSchedule(exec, func(now sim.Time) {
+		p.dropInflight(run)
+		complete(now)
 	})
+	p.inflight = append(p.inflight, run)
+}
+
+// dropInflight removes a completed run from the in-flight registry.
+func (p *Platform) dropInflight(run *inflightRun) {
+	for i, r := range p.inflight {
+		if r == run {
+			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // reap retires an idle instance unless the keep-warm floor protects it.
@@ -272,6 +326,119 @@ func (p *Platform) reap(st *fnState, inst *instance, now sim.Time) {
 			p.instSeconds += (now - inst.born).Seconds()
 			p.layerEvents[LayerOrchestration]++
 			return
+		}
+	}
+}
+
+// InjectFailures plays a pre-drawn host-slot failure timeline against the
+// platform (see scenario.FailureOverlay): the platform's instances are
+// backed by `slots` host slots, each event takes its group of slots down for
+// the repair duration — evicting idle instances first (sorted function
+// order), then the most recently started executions, whose interrupted calls
+// re-dispatch and typically pay a fresh cold start — and while slots are
+// down new instances are gated by the surviving capacity. Call before Drain.
+func (p *Platform) InjectFailures(events []failure.Event, slots int) error {
+	if slots <= 0 {
+		return nil
+	}
+	p.slots = slots
+	for _, ev := range events {
+		n := len(ev.Machines)
+		repair := ev.Repair
+		if _, err := p.k.ScheduleAt(ev.At, func(now sim.Time) {
+			p.failSlots(n, repair, now)
+		}); err != nil {
+			return fmt.Errorf("faas: schedule failure: %w", err)
+		}
+	}
+	return nil
+}
+
+// failSlots applies one failure event: n slots go down for repair.
+func (p *Platform) failSlots(n int, repair time.Duration, now sim.Time) {
+	if avail := p.slots - p.downSlots; n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		return
+	}
+	p.downSlots += n
+	if excess := p.instances - (p.slots - p.downSlots); excess > 0 {
+		p.killInstances(excess, now)
+	}
+	p.k.AfterFunc(repair, func(now sim.Time) {
+		p.downSlots -= n
+		p.drainQueues(now)
+	})
+}
+
+// killInstances evicts up to excess instances: idle pools first (in sorted
+// function order, newest instance first), then in-flight executions (newest
+// first), whose calls re-enter dispatch at the failure instant. Instances
+// mid-cold-start cannot be evicted; any remainder rides out the outage.
+func (p *Platform) killInstances(excess int, now sim.Time) {
+	names := make([]string, 0, len(p.state))
+	for name := range p.state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := p.state[name]
+		for excess > 0 && len(st.idle) > 0 {
+			inst := st.idle[len(st.idle)-1]
+			st.idle = st.idle[:len(st.idle)-1]
+			inst.timer.Stop()
+			p.destroyInstance(st, inst, now)
+			excess--
+		}
+	}
+	for excess > 0 && len(p.inflight) > 0 {
+		run := p.inflight[len(p.inflight)-1]
+		p.inflight = p.inflight[:len(p.inflight)-1]
+		p.k.Cancel(run.done)
+		run.st.busy--
+		p.destroyInstance(run.st, run.inst, now)
+		p.failureRestarts++
+		excess--
+		p.dispatch(run.st.fn.Name, run.call)
+	}
+}
+
+// destroyInstance retires an instance killed by a failure, billing its
+// lifetime like a reap does.
+func (p *Platform) destroyInstance(st *fnState, inst *instance, now sim.Time) {
+	st.total--
+	p.instances--
+	p.instSeconds += (now - inst.born).Seconds()
+	p.failureKills++
+	p.layerEvents[LayerOrchestration]++
+}
+
+// drainQueues restarts queued calls after a repair restores capacity.
+func (p *Platform) drainQueues(now sim.Time) {
+	names := make([]string, 0, len(p.state))
+	for name := range p.state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := p.state[name]
+		for len(st.queue) > 0 {
+			call := st.queue[0]
+			if len(st.idle) > 0 {
+				inst := st.idle[len(st.idle)-1]
+				st.idle = st.idle[:len(st.idle)-1]
+				inst.timer.Stop()
+				st.queue = st.queue[1:]
+				p.execute(st, inst, call, false)
+				continue
+			}
+			if st.total < p.cfg.MaxInstances && p.hasCapacity() {
+				st.queue = st.queue[1:]
+				p.coldStart(st, call)
+				continue
+			}
+			break
 		}
 	}
 }
@@ -299,6 +466,8 @@ func (p *Platform) Drain() *Result {
 		ColdStarts:      0,
 		PeakInstances:   p.peak,
 		InstanceSeconds: p.instSeconds,
+		FailureKills:    p.failureKills,
+		FailureRestarts: p.failureRestarts,
 		LayerEvents:     p.layerEvents,
 	}
 	if len(p.records) == 0 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mcs/internal/failure"
 	"mcs/internal/stats"
 )
 
@@ -249,5 +250,94 @@ func BenchmarkPlatform10kInvocations(b *testing.B) {
 			p.Invoke(Invocation{Function: "f", At: time.Duration(j) * 100 * time.Millisecond}, nil)
 		}
 		p.Drain()
+	}
+}
+
+func TestFailureEvictsIdleInstanceAndGatesColdStarts(t *testing.T) {
+	// One host slot. The warm instance left by the first call is evicted when
+	// the slot fails; a call arriving during the outage queues until repair
+	// restores capacity, then pays a fresh cold start.
+	p, err := NewPlatform(Config{Seed: 1, IdleTimeout: time.Hour}, testFunctions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InjectFailures([]failure.Event{
+		{At: 10 * time.Second, Machines: []int{0}, Repair: 20 * time.Second},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Cold start 2s + exec 0.1s: idle from t=2.1 until the failure at t=10.
+	if err := p.Invoke(Invocation{Function: "resize", At: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Arrives mid-outage: no warm pool, no up slot — queues until t=30.
+	if err := p.Invoke(Invocation{Function: "resize", At: 15 * time.Second}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Drain()
+	if len(res.Records) != 2 {
+		t.Fatalf("records=%d, want 2", len(res.Records))
+	}
+	if res.FailureKills != 1 || res.FailureRestarts != 0 {
+		t.Errorf("kills=%d restarts=%d, want 1/0", res.FailureKills, res.FailureRestarts)
+	}
+	rec := res.Records[1]
+	if !rec.Cold {
+		t.Error("post-outage call must cold start (warm pool was evicted)")
+	}
+	// Queued at 15, repair at 30, cold 2s + exec 0.1s → finish 32.1.
+	if got := rec.Latency(); got != 17100*time.Millisecond {
+		t.Errorf("latency=%v, want 17.1s", got)
+	}
+}
+
+func TestFailureKillsInflightExecutionAndRedispatches(t *testing.T) {
+	// The slot fails mid-execution: the run is aborted, the call re-enters
+	// dispatch, waits out the outage, and completes after a second cold start.
+	p, err := NewPlatform(Config{Seed: 1, IdleTimeout: time.Hour}, testFunctions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InjectFailures([]failure.Event{
+		// classify: cold 4s + exec 0.5s → in-flight over [4,4.5).
+		{At: 4200 * time.Millisecond, Machines: []int{0}, Repair: 10 * time.Second},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke(Invocation{Function: "classify", At: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Drain()
+	if len(res.Records) != 1 {
+		t.Fatalf("records=%d, want 1", len(res.Records))
+	}
+	if res.FailureKills != 1 || res.FailureRestarts != 1 {
+		t.Errorf("kills=%d restarts=%d, want 1/1", res.FailureKills, res.FailureRestarts)
+	}
+	rec := res.Records[0]
+	if !rec.Cold {
+		t.Error("re-dispatched call must cold start")
+	}
+	// Submit 0, killed at 4.2, repair ends 14.2, cold 4s + exec 0.5s → 18.7.
+	if got := rec.Latency(); got != 18700*time.Millisecond {
+		t.Errorf("latency=%v, want 18.7s", got)
+	}
+}
+
+func TestFailureFreePlatformIgnoresSlots(t *testing.T) {
+	// InjectFailures with no slots is a no-op: the fast path stays in force.
+	p, err := NewPlatform(Config{Seed: 1}, testFunctions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InjectFailures(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Invoke(Invocation{Function: "resize", At: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Drain()
+	if res.FailureKills != 0 || res.FailureRestarts != 0 {
+		t.Errorf("kills=%d restarts=%d, want 0/0", res.FailureKills, res.FailureRestarts)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mcs/internal/failure"
 	"mcs/internal/scenario"
 	"mcs/internal/sim"
 	"mcs/internal/stats"
@@ -39,23 +40,23 @@ type FunctionJSON struct {
 	MemoryMB         int     `json:"memoryMB"`
 }
 
-// ScenarioJSON is the JSON schema of the "faas" scenario.
+// ScenarioJSON is the JSON schema of the "faas" scenario. The header fields
+// (kind, seed, the workload trace reference, the failures overlay) come from
+// the embedded scenario.Common: a trace file named there replays through the
+// format registry (each task is one call of the function named by its job's
+// user, with the task runtime as execution demand); an empty reference
+// synthesizes from Invocations/MeanGapSeconds and the document seed.
 type ScenarioJSON struct {
+	scenario.Common
 	Functions []FunctionJSON `json:"functions"`
 	// Invocations is the total number of calls, spread Poisson over the
 	// functions (uniform choice) with MeanGapSeconds between arrivals.
 	Invocations    int     `json:"invocations"`
 	MeanGapSeconds float64 `json:"meanGapSeconds"`
-	// Workload selects the invocation source: a trace file replays through
-	// the format registry (each task is one call of the function named by
-	// its job's user, with the task runtime as execution demand); empty
-	// synthesizes from Invocations/MeanGapSeconds and the document seed.
-	Workload trace.Ref `json:"workload"`
 	// Platform operational knobs (zero values take platform defaults).
 	KeepWarm           int     `json:"keepWarm"`
 	MaxInstances       int     `json:"maxInstances"`
 	IdleTimeoutSeconds float64 `json:"idleTimeoutSeconds"`
-	Seed               int64   `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run faas scenario document.
@@ -74,6 +75,11 @@ type faasScenario struct {
 	cfg       Config
 	functions []Function
 	w         *workload.Workload
+
+	overlay    *scenario.FailureOverlay
+	failEvents []failure.Event
+	slots      int
+	window     time.Duration
 }
 
 func init() {
@@ -145,7 +151,7 @@ func (f *faasScenario) Configure(raw json.RawMessage) error {
 	}
 	meanGap := time.Duration(gap * float64(time.Second))
 	functions := f.functions
-	src := trace.SourceFor(cfg.Workload, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
+	src := trace.SourceFor(cfg.Workload.Ref, cfg.Seed, func(r *rand.Rand) (*workload.Workload, error) {
 		return generateInvocations(functions, names, count, meanGap, r)
 	})
 	w, err := src.Load()
@@ -153,6 +159,33 @@ func (f *faasScenario) Configure(raw json.RawMessage) error {
 		return err
 	}
 	f.w = w
+
+	overlay, err := cfg.FailureOverlay()
+	if err != nil {
+		return err
+	}
+	if overlay != nil {
+		// The failure domain is the pool of host slots backing instances:
+		// one slot per instance the per-function limits could create, unless
+		// the document overrides with failures.machines. The timeline spans
+		// the invocation stream plus the idle-timeout tail, the window the
+		// platform can still hold instances in.
+		maxInst := cfg.MaxInstances
+		if maxInst <= 0 {
+			maxInst = 64
+		}
+		idle := f.cfg.IdleTimeout
+		if idle <= 0 {
+			idle = 5 * time.Minute
+		}
+		f.slots = overlay.Machines(maxInst * len(f.functions))
+		f.window = w.Span() + idle
+		f.failEvents, err = overlay.Draw("", f.slots, f.window, nil)
+		if err != nil {
+			return err
+		}
+		f.overlay = overlay
+	}
 	return nil
 }
 
@@ -187,11 +220,19 @@ func generateInvocations(functions []Function, names []string, count int, meanGa
 	return w, nil
 }
 
+// Schema implements scenario.Schemer (mcsim -strict).
+func (f *faasScenario) Schema() any { return &ScenarioJSON{} }
+
 // Run implements scenario.Scenario.
 func (f *faasScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	p, err := NewPlatformOn(k, f.cfg, f.functions)
 	if err != nil {
 		return nil, err
+	}
+	if f.overlay != nil {
+		if err := p.InjectFailures(f.failEvents, f.slots); err != nil {
+			return nil, err
+		}
 	}
 	for i := range f.w.Jobs {
 		j := &f.w.Jobs[i]
@@ -203,17 +244,25 @@ func (f *faasScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 		}
 	}
 	res := p.Drain()
-	return &scenario.Result{
-		Metrics: map[string]float64{
-			"invocations":        float64(len(res.Records)),
-			"meanLatencySeconds": res.MeanLatency.Seconds(),
-			"p50LatencySeconds":  res.P50Latency.Seconds(),
-			"p95LatencySeconds":  res.P95Latency.Seconds(),
-			"p99LatencySeconds":  res.P99Latency.Seconds(),
-			"coldStarts":         float64(res.ColdStarts),
-			"coldFraction":       res.ColdFraction,
-			"instanceSeconds":    res.InstanceSeconds,
-			"peakInstances":      float64(res.PeakInstances),
-		},
-	}, nil
+	metrics := map[string]float64{
+		"invocations":        float64(len(res.Records)),
+		"meanLatencySeconds": res.MeanLatency.Seconds(),
+		"p50LatencySeconds":  res.P50Latency.Seconds(),
+		"p95LatencySeconds":  res.P95Latency.Seconds(),
+		"p99LatencySeconds":  res.P99Latency.Seconds(),
+		"coldStarts":         float64(res.ColdStarts),
+		"coldFraction":       res.ColdFraction,
+		"instanceSeconds":    res.InstanceSeconds,
+		"peakInstances":      float64(res.PeakInstances),
+	}
+	if f.overlay != nil {
+		metrics["failureKills"] = float64(res.FailureKills)
+		metrics["failureRestarts"] = float64(res.FailureRestarts)
+		f.overlay.AddMetrics(metrics, scenario.FailureShard{
+			Events: f.failEvents,
+			Units:  f.slots,
+			Window: f.window,
+		})
+	}
+	return &scenario.Result{Metrics: metrics}, nil
 }

@@ -40,10 +40,22 @@ type Model struct {
 	SameRackBias float64
 }
 
-// Validate checks that all component distributions are present.
+// Validate checks that all component distributions are present and the rack
+// bias is a probability. Each violation names the missing or offending field,
+// so callers that assemble models from configuration documents can surface
+// "which field, in which section" instead of a bare complaint.
 func (m *Model) Validate() error {
-	if m.MTBFSeconds == nil || m.RepairSeconds == nil || m.GroupSize == nil {
-		return fmt.Errorf("failure: model requires MTBF, repair, and group-size distributions")
+	if m.MTBFSeconds == nil {
+		return fmt.Errorf("failure: model missing the MTBF distribution (field mtbf / mtbfSeconds)")
+	}
+	if m.RepairSeconds == nil {
+		return fmt.Errorf("failure: model missing the repair distribution (field repair / repairSeconds)")
+	}
+	if m.GroupSize == nil {
+		return fmt.Errorf("failure: model missing the group-size distribution (field groupSize / groupMean)")
+	}
+	if m.SameRackBias < 0 || m.SameRackBias > 1 {
+		return fmt.Errorf("failure: rack bias %v out of [0,1] (field rackBias)", m.SameRackBias)
 	}
 	return nil
 }
@@ -240,6 +252,63 @@ func Analyze(events []Event, n int, horizon time.Duration) Analysis {
 		a.IATBurstiness = workloadBurstiness(gaps)
 	}
 	return a
+}
+
+// WindowedAvailability splits [0, horizon) into consecutive windows of the
+// given width (the last window may be shorter) and returns the machine-time
+// availability inside each — the series an availability SLO is evaluated
+// against: a window whose value falls below the target is one SLO violation.
+func WindowedAvailability(events []Event, n int, horizon, window time.Duration) []float64 {
+	if n <= 0 || horizon <= 0 || window <= 0 {
+		return nil
+	}
+	count := int((horizon + window - 1) / window)
+	downtime := make([]time.Duration, count)
+	for _, ev := range events {
+		for range ev.Machines {
+			start := ev.At
+			end := ev.At + ev.Repair
+			if end > horizon {
+				end = horizon
+			}
+			for w := int(start / window); w < count; w++ {
+				wStart := time.Duration(w) * window
+				wEnd := wStart + window
+				if wEnd > horizon {
+					wEnd = horizon
+				}
+				if start >= wEnd {
+					break
+				}
+				lo, hi := start, end
+				if lo < wStart {
+					lo = wStart
+				}
+				if hi > wEnd {
+					hi = wEnd
+				}
+				if hi <= lo {
+					break
+				}
+				downtime[w] += hi - lo
+			}
+		}
+	}
+	avail := make([]float64, count)
+	for w := range avail {
+		wStart := time.Duration(w) * window
+		wEnd := wStart + window
+		if wEnd > horizon {
+			wEnd = horizon
+		}
+		total := time.Duration(n) * (wEnd - wStart)
+		if total <= 0 {
+			avail[w] = 1
+			continue
+		}
+		avail[w] = 1 - float64(downtime[w])/float64(total)
+	}
+	return avail
 }
 
 func workloadBurstiness(gaps []time.Duration) float64 {

@@ -2,6 +2,7 @@ package failure
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -211,6 +212,103 @@ func BenchmarkGenerateYearOfFailures(b *testing.B) {
 		r := rand.New(rand.NewSource(1))
 		if _, err := m.Generate(512, 365*24*time.Hour, nil, r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestValidateNamesTheMissingField(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+		want string
+	}{
+		{"missing mtbf", Model{
+			RepairSeconds: stats.Deterministic{Value: 600},
+			GroupSize:     stats.Deterministic{Value: 1},
+		}, "mtbf"},
+		{"missing repair", Model{
+			MTBFSeconds: stats.Deterministic{Value: 3600},
+			GroupSize:   stats.Deterministic{Value: 1},
+		}, "repair"},
+		{"missing group size", Model{
+			MTBFSeconds:   stats.Deterministic{Value: 3600},
+			RepairSeconds: stats.Deterministic{Value: 600},
+		}, "groupSize"},
+		{"rack bias out of range", Model{
+			MTBFSeconds:   stats.Deterministic{Value: 3600},
+			RepairSeconds: stats.Deterministic{Value: 600},
+			GroupSize:     stats.Deterministic{Value: 1},
+			SameRackBias:  1.5,
+		}, "rackBias"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			if err == nil {
+				t.Fatal("invalid model accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name field %q", err, tc.want)
+			}
+		})
+	}
+	ok := Model{
+		MTBFSeconds:   stats.Deterministic{Value: 3600},
+		RepairSeconds: stats.Deterministic{Value: 600},
+		GroupSize:     stats.Deterministic{Value: 1},
+		SameRackBias:  0.8,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestWindowedAvailability(t *testing.T) {
+	// Two machines, horizon 100s, windows of 25s. Machine 0 is down over
+	// [10,35): window 0 loses 15 machine-seconds of 50, window 1 loses 10.
+	events := []Event{{At: 10 * time.Second, Machines: []int{0}, Repair: 25 * time.Second}}
+	wa := WindowedAvailability(events, 2, 100*time.Second, 25*time.Second)
+	if len(wa) != 4 {
+		t.Fatalf("windows = %d, want 4", len(wa))
+	}
+	approx := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if !approx(wa[0], 1-15.0/50) {
+		t.Errorf("window 0 availability = %v, want %v", wa[0], 1-15.0/50)
+	}
+	if !approx(wa[1], 1-10.0/50) {
+		t.Errorf("window 1 availability = %v, want %v", wa[1], 1-10.0/50)
+	}
+	if wa[2] != 1 || wa[3] != 1 {
+		t.Errorf("untouched windows = %v, %v, want 1", wa[2], wa[3])
+	}
+}
+
+func TestWindowedAvailabilityPartialLastWindow(t *testing.T) {
+	// Horizon 60s with 25s windows: the last window is 10s wide. One machine
+	// down over [55,60) (repair clamped at the horizon): last window loses
+	// 5 of 10 machine-seconds.
+	events := []Event{{At: 55 * time.Second, Machines: []int{0}, Repair: time.Hour}}
+	wa := WindowedAvailability(events, 1, 60*time.Second, 25*time.Second)
+	if len(wa) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wa))
+	}
+	if wa[2] != 0.5 {
+		t.Errorf("partial window availability = %v, want 0.5", wa[2])
+	}
+	// Mean of windowed availability weighted by width matches Analyze.
+	if got := Analyze(events, 1, 60*time.Second).Availability; got < 0.916 || got > 0.917 {
+		t.Errorf("whole-horizon availability = %v", got)
+	}
+}
+
+func TestWindowedAvailabilityDegenerate(t *testing.T) {
+	if wa := WindowedAvailability(nil, 0, time.Hour, time.Minute); wa != nil {
+		t.Errorf("degenerate call returned %v", wa)
+	}
+	wa := WindowedAvailability(nil, 3, time.Hour, time.Minute)
+	for i, v := range wa {
+		if v != 1 {
+			t.Errorf("window %d availability = %v, want 1", i, v)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mcs/internal/dcmodel"
+	"mcs/internal/failure"
 	"mcs/internal/opendc"
 	"mcs/internal/sched"
 	"mcs/internal/sim"
@@ -28,6 +29,10 @@ type Site struct {
 	// Local jobs originate at this site (they pay no WAN delay when
 	// scheduled locally).
 	Local []workload.Job
+	// FailureSource, when non-nil, supplies the site's pre-drawn failure
+	// timeline (see opendc.Scenario.FailureSource). Sites that receive no
+	// jobs never start an engine and therefore host no failure process.
+	FailureSource func(n int, horizon time.Duration, racks []string) ([]failure.Event, error)
 }
 
 // RoutingPolicy decides which site each job runs on.
@@ -173,11 +178,12 @@ func Run(sites []Site, policy RoutingPolicy, cfg Config) (*Result, error) {
 				return SiteResult{Site: s.Name, Jobs: 0}, nil
 			}
 			siteRes, err := opendc.RunOn(k, &opendc.Scenario{
-				Cluster:  s.Cluster,
-				Workload: &workload.Workload{Jobs: jobs},
-				Sched:    cfg.Sched.Fresh(),
-				Horizon:  cfg.Horizon,
-				Seed:     cfg.Seed + int64(i),
+				Cluster:       s.Cluster,
+				Workload:      &workload.Workload{Jobs: jobs},
+				Sched:         cfg.Sched.Fresh(),
+				FailureSource: s.FailureSource,
+				Horizon:       cfg.Horizon,
+				Seed:          cfg.Seed + int64(i),
 			})
 			if err != nil {
 				return SiteResult{}, fmt.Errorf("federation: site %q: %w", s.Name, err)

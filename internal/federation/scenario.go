@@ -36,8 +36,11 @@ type SiteJSON struct {
 	Shape string `json:"shape"`
 }
 
-// ScenarioJSON is the JSON schema of the "federation" scenario.
+// ScenarioJSON is the JSON schema of the "federation" scenario. The header
+// fields (kind, seed, parallel — bounding the per-site kernel pool — and the
+// failures overlay) come from the embedded scenario.Common.
 type ScenarioJSON struct {
+	scenario.Common
 	Sites []SiteJSON `json:"sites"`
 	// Policy is "local-only", "round-robin", or "least-loaded".
 	Policy    string `json:"policy"`
@@ -47,11 +50,6 @@ type ScenarioJSON struct {
 		Mode      string `json:"mode"`
 	} `json:"scheduler"`
 	HorizonSeconds float64 `json:"horizonSeconds"`
-	// Parallel bounds the worker pool running the per-site kernels
-	// (0 = GOMAXPROCS, 1 = sequential). Like the sweep's parallel knob it
-	// affects wall-clock only, never the result bytes, so it is sweepable.
-	Parallel int   `json:"parallel"`
-	Seed     int64 `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run federation scenario document: a busy
@@ -85,9 +83,10 @@ func PolicyByName(name string) (RoutingPolicy, error) {
 }
 
 type federationScenario struct {
-	sites  []Site
-	policy RoutingPolicy
-	cfg    Config
+	sites   []Site
+	policy  RoutingPolicy
+	cfg     Config
+	overlay *scenario.FailureOverlay
 }
 
 func init() {
@@ -100,12 +99,20 @@ func (f *federationScenario) Name() string { return "federation" }
 // Example implements scenario.Exampler.
 func (f *federationScenario) Example() string { return ExampleJSON }
 
+// Schema implements scenario.Schemer (mcsim -strict).
+func (f *federationScenario) Schema() any { return &ScenarioJSON{} }
+
 // Configure implements scenario.Scenario.
 func (f *federationScenario) Configure(raw json.RawMessage) error {
 	var cfg ScenarioJSON
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	overlay, err := cfg.FailureOverlay()
+	if err != nil {
+		return err
+	}
+	f.overlay = overlay
 	if len(cfg.Sites) == 0 {
 		// Default federation: the example's busy/idle pair.
 		cfg.Sites = []SiteJSON{
@@ -147,6 +154,11 @@ func (f *federationScenario) Configure(raw json.RawMessage) error {
 			Cluster:  dcmodel.NewHomogeneous(name, machines, class, sj.RackSize),
 			WANDelay: time.Duration(sj.WANDelaySeconds * float64(time.Second)),
 		}
+		if overlay != nil {
+			// Each site draws its own timeline from an index-derived stream,
+			// so site results stay independent shards (pool-size invariant).
+			site.FailureSource = overlay.ShardSource(fmt.Sprintf("site-%d", i))
+		}
 		if sj.Jobs > 0 {
 			gen := workload.GeneratorConfig{Jobs: sj.Jobs}
 			if gen.Arrival, err = workload.ArrivalByName(sj.Pattern); err != nil {
@@ -177,22 +189,33 @@ func (f *federationScenario) Run(_ *sim.Kernel) (*scenario.Result, error) {
 		return nil, err
 	}
 	var events uint64
-	for _, sr := range res.Sites {
-		if sr.Result != nil {
-			events += sr.Result.SimulatedEvents
+	var shards []scenario.FailureShard
+	for i, sr := range res.Sites {
+		if sr.Result == nil {
+			continue
+		}
+		events += sr.Result.SimulatedEvents
+		if f.overlay != nil {
+			shards = append(shards, scenario.FailureShard{
+				Events: sr.Result.FailureEvents,
+				Units:  len(f.sites[i].Cluster.Machines),
+				Window: sr.Result.FailureWindow,
+			})
 		}
 	}
+	metrics := map[string]float64{
+		"sites":           float64(len(res.Sites)),
+		"completed":       float64(res.Completed),
+		"failed":          float64(res.Failed),
+		"delegated":       float64(res.Delegated),
+		"meanWaitSeconds": res.MeanWait.Seconds(),
+		"p95WaitSeconds":  res.P95Wait.Seconds(),
+		"utilization":     res.Utilization,
+	}
+	f.overlay.AddMetrics(metrics, shards...)
 	return &scenario.Result{
-		Metrics: map[string]float64{
-			"sites":           float64(len(res.Sites)),
-			"completed":       float64(res.Completed),
-			"failed":          float64(res.Failed),
-			"delegated":       float64(res.Delegated),
-			"meanWaitSeconds": res.MeanWait.Seconds(),
-			"p95WaitSeconds":  res.P95Wait.Seconds(),
-			"utilization":     res.Utilization,
-		},
-		Labels: map[string]string{"policy": res.Policy.String()},
-		Events: events,
+		Metrics: metrics,
+		Labels:  map[string]string{"policy": res.Policy.String()},
+		Events:  events,
 	}, nil
 }

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mcs/internal/failure"
 	"mcs/internal/sim"
 	"mcs/internal/social"
 	"mcs/internal/stats"
@@ -48,6 +49,12 @@ type WorldConfig struct {
 	// movement stay simulation dynamics drawn from the kernel RNG, so a
 	// replayed workload reproduces a synthetic run exactly.
 	Workload *workload.Workload
+	// Failures, when non-nil, is a pre-drawn failure timeline over the
+	// Zones×MaxServersPerZone server slots (slot s serves zone
+	// s/MaxServersPerZone): a down slot shrinks its zone's sharding
+	// headroom for the repair duration, so load that sharding would have
+	// absorbed counts as overload instead.
+	Failures []failure.Event
 	Seed     int64
 }
 
@@ -124,17 +131,29 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	if maxShards <= 0 {
 		maxShards = 4
 	}
+	// zoneDown counts failed server slots per zone; all zeros without
+	// failure injection, leaving servers() and overload accounting exactly
+	// as before.
+	zoneDown := make([]int, cfg.Zones)
+	zoneAvail := func(z int) int {
+		avail := maxShards - zoneDown[z]
+		if avail < 0 {
+			avail = 0
+		}
+		return avail
+	}
 	servers := func() int {
 		total := 0
-		for _, pop := range zonePop {
+		for z, pop := range zonePop {
 			// Each zone shards to ⌈pop/capacity⌉ servers, minimum 1,
-			// bounded by the seamlessness limit.
+			// bounded by the seamlessness limit and surviving slots.
+			avail := zoneAvail(z)
 			n := (pop + cfg.ZoneCapacity - 1) / cfg.ZoneCapacity
 			if n < 1 {
 				n = 1
 			}
-			if n > maxShards {
-				n = maxShards
+			if n > avail {
+				n = avail
 			}
 			total += n
 		}
@@ -182,8 +201,8 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 		// Overload accounting between samples: a zone past its sharding
 		// limit violates QoS.
 		anyOver := false
-		for _, pop := range zonePop {
-			if pop > maxShards*cfg.ZoneCapacity {
+		for z, pop := range zonePop {
+			if pop > zoneAvail(z)*cfg.ZoneCapacity {
 				anyOver = true
 				break
 			}
@@ -194,6 +213,33 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 		lastSample = now
 	}
 	monitor := sim.NewTicker(k, time.Minute, sample)
+
+	// Inject the pre-drawn failure timeline: slot s belongs to zone
+	// s/maxShards, and each event shrinks its zones' headroom until repair.
+	for _, ev := range cfg.Failures {
+		zonesHit := make([]int, 0, len(ev.Machines))
+		for _, s := range ev.Machines {
+			if z := s / maxShards; z >= 0 && z < cfg.Zones {
+				zonesHit = append(zonesHit, z)
+			}
+		}
+		if len(zonesHit) == 0 {
+			continue
+		}
+		repair := ev.Repair
+		if _, err := k.ScheduleAt(sim.Time(ev.At), func(sim.Time) {
+			for _, z := range zonesHit {
+				zoneDown[z]++
+			}
+			k.AfterFunc(repair, func(sim.Time) {
+				for _, z := range zonesHit {
+					zoneDown[z]--
+				}
+			})
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	var movePlayer func(p *player) sim.Handler
 	movePlayer = func(p *player) sim.Handler {

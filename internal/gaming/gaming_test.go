@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mcs/internal/failure"
 	"mcs/internal/stats"
 )
 
@@ -216,5 +217,79 @@ func BenchmarkRunWorldDay(b *testing.B) {
 		if _, err := RunWorld(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestZoneFailuresShrinkServersAndRaiseOverload(t *testing.T) {
+	// A failure covering both of zone 0's server slots for the whole horizon:
+	// players keep playing (downtime surfaces as load pressure, not kicks),
+	// the server fleet shrinks, and overload time can only grow.
+	base := smallWorld()
+	base.MaxServersPerZone = 2
+	baseline, err := RunWorld(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := base
+	failed.Failures = []failure.Event{
+		{At: 0, Machines: []int{0, 1}, Repair: base.Horizon},
+	}
+	degraded, err := RunWorld(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The timeline is pre-drawn, never from the kernel RNG: arrivals, zone
+	// choices, and movement are untouched, so the population is identical.
+	if degraded.PlayersServed != baseline.PlayersServed {
+		t.Errorf("players served %d != baseline %d (failures must not perturb the workload)",
+			degraded.PlayersServed, baseline.PlayersServed)
+	}
+	if degraded.MeanServers >= baseline.MeanServers {
+		t.Errorf("mean servers %v not below baseline %v with zone 0 down",
+			degraded.MeanServers, baseline.MeanServers)
+	}
+	if degraded.OverloadTimeShare < baseline.OverloadTimeShare {
+		t.Errorf("overload share %v below baseline %v with zone 0 down",
+			degraded.OverloadTimeShare, baseline.OverloadTimeShare)
+	}
+	// Determinism: same config, same failure timeline, same result.
+	again, err := RunWorld(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MeanServers != degraded.MeanServers || again.OverloadTimeShare != degraded.OverloadTimeShare {
+		t.Error("failure-injected world run is not deterministic")
+	}
+}
+
+func TestZoneFailureRepairRestoresHeadroom(t *testing.T) {
+	// A failure that repairs mid-run must leave the post-repair world with
+	// its full shard headroom: the mean server count sits between the
+	// always-down and never-down cases.
+	base := smallWorld()
+	base.MaxServersPerZone = 2
+	baseline, err := RunWorld(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := base
+	half.Failures = []failure.Event{
+		{At: 0, Machines: []int{0, 1}, Repair: base.Horizon / 2},
+	}
+	repaired, err := RunWorld(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := base
+	always.Failures = []failure.Event{
+		{At: 0, Machines: []int{0, 1}, Repair: base.Horizon},
+	}
+	down, err := RunWorld(always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(repaired.MeanServers > down.MeanServers && repaired.MeanServers < baseline.MeanServers) {
+		t.Errorf("mean servers: down=%v repaired=%v baseline=%v, want strictly between",
+			down.MeanServers, repaired.MeanServers, baseline.MeanServers)
 	}
 }

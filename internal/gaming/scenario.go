@@ -23,8 +23,13 @@ import (
 	"mcs/internal/workload"
 )
 
-// ScenarioJSON is the JSON schema of the "gaming" scenario.
+// ScenarioJSON is the JSON schema of the "gaming" scenario. The header
+// fields (kind, seed, the workload trace reference, the failures overlay)
+// come from the embedded scenario.Common: a trace file named there replays
+// through the format registry; an empty reference synthesizes diurnal
+// arrivals from the document seed.
 type ScenarioJSON struct {
+	scenario.Common
 	Zones             int     `json:"zones"`
 	ZoneCapacity      int     `json:"zoneCapacity"`
 	MaxServersPerZone int     `json:"maxServersPerZone"`
@@ -32,11 +37,6 @@ type ScenarioJSON struct {
 	DiurnalAmp        float64 `json:"diurnalAmp"`
 	MoveEveryMinutes  float64 `json:"moveEveryMinutes"`
 	HorizonHours      float64 `json:"horizonHours"`
-	// Workload selects the session source: a trace file replays through
-	// the format registry; empty synthesizes diurnal arrivals from the
-	// document seed.
-	Workload trace.Ref `json:"workload"`
-	Seed     int64     `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run gaming scenario document.
@@ -48,7 +48,9 @@ const ExampleJSON = `{
 }`
 
 type gamingScenario struct {
-	cfg WorldConfig
+	cfg     WorldConfig
+	overlay *scenario.FailureOverlay
+	slots   int
 }
 
 func init() {
@@ -101,15 +103,43 @@ func (g *gamingScenario) Configure(raw json.RawMessage) error {
 		Seed:              cfg.Seed,
 	}
 	world := g.cfg
-	src := trace.SourceFor(cfg.Workload, cfg.Seed,
+	src := trace.SourceFor(cfg.Workload.Ref, cfg.Seed,
 		func(r *rand.Rand) (*workload.Workload, error) { return GenerateSessions(world, r) })
 	w, err := src.Load()
 	if err != nil {
 		return err
 	}
 	g.cfg.Workload = w
+
+	overlay, err := cfg.FailureOverlay()
+	if err != nil {
+		return err
+	}
+	if overlay != nil {
+		// The failure domain is the world's server-slot grid: maxShards
+		// slots per zone, with zones as the rack-like groups (a biased
+		// multi-slot event concentrates in one zone — the correlated outage
+		// that defeats sharding).
+		maxShards := g.cfg.MaxServersPerZone
+		if maxShards <= 0 {
+			maxShards = 4
+		}
+		g.slots = overlay.Machines(g.cfg.Zones * maxShards)
+		racks := make([]string, g.slots)
+		for s := range racks {
+			racks[s] = "zone-" + itoa(s/maxShards)
+		}
+		g.cfg.Failures, err = overlay.Draw("", g.slots, g.cfg.Horizon, racks)
+		if err != nil {
+			return err
+		}
+		g.overlay = overlay
+	}
 	return nil
 }
+
+// Schema implements scenario.Schemer (mcsim -strict).
+func (g *gamingScenario) Schema() any { return &ScenarioJSON{} }
 
 // Run implements scenario.Scenario.
 func (g *gamingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
@@ -117,15 +147,21 @@ func (g *gamingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics := map[string]float64{
+		"playersServed":     float64(res.PlayersServed),
+		"peakConcurrent":    float64(res.PeakConcurrent),
+		"peakServers":       float64(res.PeakServers),
+		"meanServers":       res.MeanServers,
+		"overloadTimeShare": res.OverloadTimeShare,
+		"socialTies":        float64(res.Interactions.NumEdges()),
+	}
+	g.overlay.AddMetrics(metrics, scenario.FailureShard{
+		Events: g.cfg.Failures,
+		Units:  g.slots,
+		Window: g.cfg.Horizon,
+	})
 	return &scenario.Result{
-		Metrics: map[string]float64{
-			"playersServed":     float64(res.PlayersServed),
-			"peakConcurrent":    float64(res.PeakConcurrent),
-			"peakServers":       float64(res.PeakServers),
-			"meanServers":       res.MeanServers,
-			"overloadTimeShare": res.OverloadTimeShare,
-			"socialTies":        float64(res.Interactions.NumEdges()),
-		},
-		Labels: map[string]string{"players": fmt.Sprintf("%d", len(g.cfg.Workload.Jobs))},
+		Metrics: metrics,
+		Labels:  map[string]string{"players": fmt.Sprintf("%d", len(g.cfg.Workload.Jobs))},
 	}, nil
 }

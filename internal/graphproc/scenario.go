@@ -16,8 +16,11 @@ import (
 	"mcs/internal/sim"
 )
 
-// ScenarioJSON is the JSON schema of the "graph" scenario.
+// ScenarioJSON is the JSON schema of the "graph" scenario. The header
+// fields (kind, seed, parallel — bounding the algorithm-shard pool) come
+// from the embedded scenario.Common.
 type ScenarioJSON struct {
+	scenario.Common
 	// Generator is "rmat", "er", or "grid2d" (default "rmat").
 	Generator string `json:"generator"`
 	// Scale gives ~2^scale vertices (default 12).
@@ -27,16 +30,12 @@ type ScenarioJSON struct {
 	// Algorithms lists the kernels to run (default: all six).
 	Algorithms []string `json:"algorithms"`
 	// Engine is "sequential" (default; fully deterministic) or
-	// "parallel-bsp".
+	// "parallel-bsp". Each algorithm is an independent read-only pass over
+	// the pre-generated graph on the Common.Parallel-bounded pool; note
+	// that "parallel-bsp" engines spin their own intra-algorithm workers,
+	// so combining both knobs oversubscribes the machine (see DESIGN.md,
+	// "Intra-run parallelism").
 	Engine string `json:"engine"`
-	// Parallel bounds the worker pool running the algorithm shards
-	// (0 = GOMAXPROCS, 1 = sequential). Each algorithm is an independent
-	// read-only pass over the pre-generated graph, so the pool size affects
-	// wall-clock only, never the result bytes. Note that "parallel-bsp"
-	// engines spin their own intra-algorithm workers; combining both knobs
-	// oversubscribes the machine (see DESIGN.md, "Intra-run parallelism").
-	Parallel int   `json:"parallel"`
-	Seed     int64 `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run graph scenario document.
@@ -71,6 +70,9 @@ func (g *graphScenario) Example() string { return ExampleJSON }
 func (g *graphScenario) Configure(raw json.RawMessage) error {
 	var cfg ScenarioJSON
 	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if err := cfg.RejectFailures("graph"); err != nil {
 		return err
 	}
 	switch cfg.Generator {
@@ -118,6 +120,9 @@ func (g *graphScenario) Configure(raw json.RawMessage) error {
 	g.seed = cfg.Seed
 	return nil
 }
+
+// Schema implements scenario.Schemer (mcsim -strict).
+func (g *graphScenario) Schema() any { return &ScenarioJSON{} }
 
 // Run implements scenario.Scenario. The graph is generated once from the
 // runner's kernel RNG; each algorithm then runs as an independent shard —

@@ -29,8 +29,15 @@ type Scenario struct {
 	Cluster  *dcmodel.Cluster
 	Workload *workload.Workload
 	Sched    sched.Config
-	// Failures, when non-nil, injects machine failures over the horizon.
+	// Failures, when non-nil, injects machine failures over the horizon,
+	// drawn from the kernel's random stream.
 	Failures *failure.Model
+	// FailureSource, when non-nil, supplies a pre-drawn failure timeline and
+	// wins over Failures. The engine calls it exactly once, with the cluster
+	// size, the effective horizon, and the machine→rack map, so callers that
+	// seed the draw from the document (scenario.FailureOverlay) keep the
+	// kernel's random stream untouched by failure injection.
+	FailureSource func(n int, horizon time.Duration, racks []string) ([]failure.Event, error)
 	// Horizon caps simulated time; 0 lets the run drain naturally (with a
 	// generous internal bound to terminate pathological scenarios).
 	Horizon time.Duration
@@ -79,17 +86,22 @@ type Result struct {
 	// Makespan is the completion time of the last finished task.
 	Makespan time.Duration
 	// Metrics over completed tasks.
-	MeanWait, P95Wait      time.Duration
-	MeanSlowdown           float64 // bounded slowdown, threshold 10s
-	P95Slowdown            float64
-	MeanResponse           time.Duration
-	Completed, Failed      int
-	FailureRestarts        int
-	Utilization            float64 // time-averaged core utilization
-	EnergyKWh              float64
-	GoodputTasksPerHour    float64
-	DeadlineMisses         int
-	DeadlineMet            int
+	MeanWait, P95Wait   time.Duration
+	MeanSlowdown        float64 // bounded slowdown, threshold 10s
+	P95Slowdown         float64
+	MeanResponse        time.Duration
+	Completed, Failed   int
+	FailureRestarts     int
+	Utilization         float64 // time-averaged core utilization
+	EnergyKWh           float64
+	GoodputTasksPerHour float64
+	DeadlineMisses      int
+	DeadlineMet         int
+	// FailureEvents is the injected failure timeline (nil without injection)
+	// and FailureWindow the horizon it was drawn over; together they let the
+	// caller compute availability metrics without re-drawing.
+	FailureEvents          []failure.Event
+	FailureWindow          time.Duration
 	QueueLenSeries         *stats.TimeSeries
 	DemandSeries           *stats.TimeSeries // eligible+running core demand
 	RunningSeries          *stats.TimeSeries // allocated cores
@@ -117,6 +129,8 @@ type engine struct {
 	maxRetries  int
 	failRestart int
 	horizon     time.Duration
+
+	failureEvents []failure.Event
 
 	queueSeries, demandSeries, runningSeries, utilSeries *stats.TimeSeries
 	runningCores                                         int
@@ -232,15 +246,22 @@ func RunOn(k *sim.Kernel, sc *Scenario) (*Result, error) {
 	}
 
 	// Failure injection: the whole pre-generated trace goes in as one batch.
-	if sc.Failures != nil {
+	if sc.Failures != nil || sc.FailureSource != nil {
 		racks := make([]string, len(sc.Cluster.Machines))
 		for i, m := range sc.Cluster.Machines {
 			racks[i] = m.Rack
 		}
-		events, err := sc.Failures.Generate(len(sc.Cluster.Machines), e.horizon, racks, e.k.Rand())
+		var events []failure.Event
+		var err error
+		if sc.FailureSource != nil {
+			events, err = sc.FailureSource(len(sc.Cluster.Machines), e.horizon, racks)
+		} else {
+			events, err = sc.Failures.Generate(len(sc.Cluster.Machines), e.horizon, racks, e.k.Rand())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("opendc: failures: %w", err)
 		}
+		e.failureEvents = events
 		failures := make([]sim.BatchItem, 0, len(events))
 		for _, fe := range events {
 			fe := fe
@@ -551,11 +572,18 @@ func (e *engine) failMachines(fe failure.Event, now sim.Time) {
 		}
 		e.accrueUtil(now)
 		e.accrueEnergy(now)
-		// Kill running tasks on m.
+		// Kill running tasks on m, in task-ID order: the requeue order feeds
+		// the scheduler's tie-breaking, so iterating the running map directly
+		// would leak map-iteration randomness into the result bytes.
+		var victims []workload.TaskID
 		for id, r := range e.running {
-			if r.machine != m {
-				continue
+			if r.machine == m {
+				victims = append(victims, id)
 			}
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+		for _, id := range victims {
+			r := e.running[id]
 			e.k.Cancel(r.done)
 			delete(e.running, id)
 			e.runningCores -= r.qt.Task.Cores
@@ -614,6 +642,8 @@ func (e *engine) accrueUtil(now sim.Time) {
 // finish assembles the result.
 func (e *engine) finish() *Result {
 	res := &Result{
+		FailureEvents:     e.failureEvents,
+		FailureWindow:     e.horizon,
 		QueueLenSeries:    e.queueSeries,
 		DemandSeries:      e.demandSeries,
 		RunningSeries:     e.runningSeries,

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"mcs/internal/dcmodel"
-	"mcs/internal/failure"
 	"mcs/internal/scenario"
 	"mcs/internal/sched"
 	"mcs/internal/sim"
@@ -22,31 +21,20 @@ import (
 )
 
 // ScenarioJSON is the JSON schema of the datacenter scenario (all durations
-// in seconds). Unknown fields — notably the registry envelope's "kind" —
-// are ignored.
+// in seconds). The document front half — kind, seed, parallel, the workload
+// block, and the failures overlay — is the embedded scenario.Common header;
+// only the cluster and scheduler sections are datacenter-specific.
 type ScenarioJSON struct {
-	Machines int    `json:"machines"`
-	Class    string `json:"class"`
-	RackSize int    `json:"rackSize"`
-	Workload struct {
-		Jobs    int    `json:"jobs"`
-		Pattern string `json:"pattern"`
-		Shape   string `json:"shape"`
-		trace.Ref
-	} `json:"workload"`
+	scenario.Common
+	Machines  int    `json:"machines"`
+	Class     string `json:"class"`
+	RackSize  int    `json:"rackSize"`
 	Scheduler struct {
 		Queue     string `json:"queue"`
 		Placement string `json:"placement"`
 		Mode      string `json:"mode"`
 	} `json:"scheduler"`
-	Failures struct {
-		Enabled       bool    `json:"enabled"`
-		MTBFSeconds   float64 `json:"mtbfSeconds"`
-		RepairSeconds float64 `json:"repairSeconds"`
-		GroupMean     float64 `json:"groupMean"`
-	} `json:"failures"`
 	HorizonSeconds float64 `json:"horizonSeconds"`
-	Seed           int64   `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run datacenter scenario document.
@@ -55,11 +43,19 @@ const ExampleJSON = `{
   "machines": 32, "class": "commodity", "rackSize": 16,
   "workload": {"jobs": 500, "pattern": "bursty", "shape": "bag"},
   "scheduler": {"queue": "sjf", "placement": "bestfit", "mode": "easy"},
-  "failures": {"enabled": true, "mtbfSeconds": 3600, "repairSeconds": 600, "groupMean": 4},
+  "failures": {
+    "mtbf": {"dist": "weibull", "shape": 0.6, "mean": 14400},
+    "repair": {"dist": "lognormal", "mean": 600},
+    "groupSize": {"dist": "normal", "mean": 4, "sigma": 2},
+    "rackBias": 0.8,
+    "slo": {"availability": 0.99, "windowSeconds": 3600}
+  },
   "horizonSeconds": 86400, "seed": 1
 }`
 
-// Build converts the JSON schema into a runnable scenario.
+// Build converts the JSON schema into a runnable scenario. A failures
+// section in the document header becomes a document-seeded FailureSource
+// (the kernel's random stream stays untouched).
 func Build(cfg ScenarioJSON) (*Scenario, error) {
 	if cfg.Machines <= 0 {
 		cfg.Machines = 16
@@ -91,20 +87,12 @@ func Build(cfg ScenarioJSON) (*Scenario, error) {
 		Horizon:  time.Duration(cfg.HorizonSeconds * float64(time.Second)),
 		Seed:     cfg.Seed,
 	}
-	if cfg.Failures.Enabled {
-		mtbf := time.Duration(cfg.Failures.MTBFSeconds * float64(time.Second))
-		repair := time.Duration(cfg.Failures.RepairSeconds * float64(time.Second))
-		if mtbf <= 0 {
-			mtbf = time.Hour
-		}
-		if repair <= 0 {
-			repair = 10 * time.Minute
-		}
-		if cfg.Failures.GroupMean > 1 {
-			sc.Failures = failure.CorrelatedModel(mtbf, repair, cfg.Failures.GroupMean)
-		} else {
-			sc.Failures = failure.IndependentModel(mtbf, repair)
-		}
+	overlay, err := cfg.FailureOverlay()
+	if err != nil {
+		return nil, err
+	}
+	if overlay != nil {
+		sc.FailureSource = overlay.Source()
 	}
 	return sc, nil
 }
@@ -189,8 +177,9 @@ func SchedulerByNames(queue, placement, mode string) (sched.Config, error) {
 
 // datacenterScenario adapts the simulator to the registry.
 type datacenterScenario struct {
-	sc     *Scenario
-	policy string
+	sc      *Scenario
+	overlay *scenario.FailureOverlay
+	policy  string
 }
 
 func init() {
@@ -213,6 +202,9 @@ func (d *datacenterScenario) SourceWorkload() (*workload.Workload, error) {
 	return d.sc.Workload, nil
 }
 
+// Schema implements scenario.Schemer (mcsim -strict).
+func (d *datacenterScenario) Schema() any { return &ScenarioJSON{} }
+
 // Configure implements scenario.Scenario.
 func (d *datacenterScenario) Configure(raw json.RawMessage) error {
 	var cfg ScenarioJSON
@@ -223,7 +215,12 @@ func (d *datacenterScenario) Configure(raw json.RawMessage) error {
 	if err != nil {
 		return err
 	}
+	overlay, err := cfg.FailureOverlay()
+	if err != nil {
+		return err
+	}
 	d.sc = sc
+	d.overlay = overlay
 	d.policy = sc.Sched.Named()
 	return nil
 }
@@ -234,20 +231,26 @@ func (d *datacenterScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics := map[string]float64{
+		"completed":           float64(res.Completed),
+		"failed":              float64(res.Failed),
+		"failureRestarts":     float64(res.FailureRestarts),
+		"makespanSeconds":     res.Makespan.Seconds(),
+		"meanWaitSeconds":     res.MeanWait.Seconds(),
+		"p95WaitSeconds":      res.P95Wait.Seconds(),
+		"meanSlowdown":        res.MeanSlowdown,
+		"utilization":         res.Utilization,
+		"energyKWh":           res.EnergyKWh,
+		"goodputTasksPerHour": res.GoodputTasksPerHour,
+	}
+	d.overlay.AddMetrics(metrics, scenario.FailureShard{
+		Events: res.FailureEvents,
+		Units:  len(d.sc.Cluster.Machines),
+		Window: res.FailureWindow,
+	})
 	return &scenario.Result{
-		Metrics: map[string]float64{
-			"completed":           float64(res.Completed),
-			"failed":              float64(res.Failed),
-			"failureRestarts":     float64(res.FailureRestarts),
-			"makespanSeconds":     res.Makespan.Seconds(),
-			"meanWaitSeconds":     res.MeanWait.Seconds(),
-			"p95WaitSeconds":      res.P95Wait.Seconds(),
-			"meanSlowdown":        res.MeanSlowdown,
-			"utilization":         res.Utilization,
-			"energyKWh":           res.EnergyKWh,
-			"goodputTasksPerHour": res.GoodputTasksPerHour,
-		},
-		Labels: map[string]string{"policy": d.policy},
-		Events: res.SimulatedEvents,
+		Metrics: metrics,
+		Labels:  map[string]string{"policy": d.policy},
+		Events:  res.SimulatedEvents,
 	}, nil
 }

@@ -193,35 +193,10 @@ func RunScenario(s Scenario, seed int64) (*Result, error) {
 	return res, nil
 }
 
-// Envelope is the dispatch header shared by every scenario document: the
-// kind selects the registered scenario (empty means "datacenter" for
-// backward compatibility with pre-registry documents) and the seed drives
-// the kernel.
-type Envelope struct {
-	Kind string `json:"kind"`
-	Seed int64  `json:"seed"`
-}
-
-// DefaultKind is assumed when a scenario document carries no "kind" field.
-const DefaultKind = "datacenter"
-
-// ParseEnvelope extracts the dispatch header from a scenario document,
-// applying the backward-compatible default kind.
-func ParseEnvelope(raw json.RawMessage) (Envelope, error) {
-	var env Envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return env, fmt.Errorf("scenario: parse envelope: %w", err)
-	}
-	if env.Kind == "" {
-		env.Kind = DefaultKind
-	}
-	return env, nil
-}
-
-// RunDocument dispatches a full scenario document: parse the envelope, then
-// Run the named kind with the whole document as its configuration.
+// RunDocument dispatches a full scenario document: parse the common header,
+// then Run the named kind with the whole document as its configuration.
 func RunDocument(raw json.RawMessage) (*Result, error) {
-	env, err := ParseEnvelope(raw)
+	env, err := ParseCommon(raw)
 	if err != nil {
 		return nil, err
 	}

@@ -27,8 +27,12 @@ import (
 	"mcs/internal/stats"
 )
 
-// SweepJSON is the JSON schema of the "sweep" meta-scenario.
+// SweepJSON is the JSON schema of the "sweep" meta-scenario. The header
+// fields (kind, seed, parallel — bounding the cell worker pool) come from
+// the embedded Common; a failures section belongs in the base document
+// (where it sweeps like any other field), never at the sweep level.
 type SweepJSON struct {
+	Common
 	// Base is the scenario document every cell starts from; its "kind"
 	// selects the swept scenario (nested sweeps are rejected).
 	Base json.RawMessage `json:"base"`
@@ -37,15 +41,12 @@ type SweepJSON struct {
 	// Intermediate objects are created as needed; numeric segments index
 	// existing arrays (out-of-range indices are an error — arrays never
 	// grow). Sweeping "/workload/trace" turns a sweep into a
-	// trace-portfolio campaign.
+	// trace-portfolio campaign; sweeping "/failures/..." turns it into a
+	// resilience campaign.
 	Grid map[string][]json.RawMessage `json:"grid"`
-	// Parallel bounds the worker pool (default GOMAXPROCS). It affects
-	// wall-clock only, never the report bytes.
-	Parallel int `json:"parallel"`
 	// Repetitions runs each grid cell this many times with distinct
 	// derived seeds (default 1), turning one sweep into a small campaign.
-	Repetitions int   `json:"repetitions"`
-	Seed        int64 `json:"seed"`
+	Repetitions int `json:"repetitions"`
 }
 
 // SweepExampleJSON is a ready-to-run sweep document: a 2×2 banking
@@ -302,6 +303,10 @@ func (s *sweepScenario) Name() string { return "sweep" }
 // Example implements Exampler.
 func (s *sweepScenario) Example() string { return SweepExampleJSON }
 
+// Schema implements Schemer (mcsim -strict). The base document and every
+// expanded cell are checked separately by Strict.
+func (s *sweepScenario) Schema() any { return &SweepJSON{} }
+
 // Configure implements Scenario.
 func (s *sweepScenario) Configure(raw json.RawMessage) error {
 	cfg, baseKind, cells, err := ExpandSweepDocument(raw)
@@ -327,6 +332,9 @@ func ExpandSweepDocument(raw json.RawMessage) (SweepJSON, string, []Cell, error)
 	var cfg SweepJSON
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return cfg, "", nil, err
+	}
+	if cfg.Failures != nil {
+		return cfg, "", nil, fmt.Errorf("sweep: the failures overlay belongs in the base document (sweep it via grid paths like \"/failures/mtbf/mean\"), not at the sweep level")
 	}
 	env, err := ParseEnvelope(cfg.Base)
 	if err != nil {

@@ -17,8 +17,10 @@ import (
 	"mcs/internal/workload"
 )
 
-// ScenarioJSON is the JSON schema of the "social" scenario.
+// ScenarioJSON is the JSON schema of the "social" scenario. The header
+// fields (kind, seed) come from the embedded scenario.Common.
 type ScenarioJSON struct {
+	scenario.Common
 	// Jobs is the size of the generated workload (default 400).
 	Jobs int `json:"jobs"`
 	// Users is the user population; submissions follow a Zipf popularity
@@ -38,7 +40,6 @@ type ScenarioJSON struct {
 	DominantShare float64 `json:"dominantShare"`
 	// GroupGapSeconds splits a user's submissions into batches (default 600).
 	GroupGapSeconds float64 `json:"groupGapSeconds"`
-	Seed            int64   `json:"seed"`
 }
 
 // ExampleJSON is a ready-to-run social scenario document.
@@ -70,6 +71,9 @@ func (s *socialScenario) Example() string { return ExampleJSON }
 func (s *socialScenario) Configure(raw json.RawMessage) error {
 	var cfg ScenarioJSON
 	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if err := cfg.RejectFailures("social"); err != nil {
 		return err
 	}
 	if cfg.Jobs <= 0 {
@@ -106,6 +110,9 @@ func (s *socialScenario) Configure(raw json.RawMessage) error {
 	s.gap = time.Duration(cfg.GroupGapSeconds * float64(time.Second))
 	return nil
 }
+
+// Schema implements scenario.Schemer (mcsim -strict).
+func (s *socialScenario) Schema() any { return &ScenarioJSON{} }
 
 // Run implements scenario.Scenario: generate the workload from the kernel's
 // deterministic RNG, replay every submission as a kernel event feeding the
