@@ -13,6 +13,7 @@ pkg: mcs
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkKernelThroughput/schedule-8         	 3077650	       199.4 ns/op	   5016158 events/sec
 BenchmarkKernelThroughput/afterfunc-8        	 3741152	       142.5 ns/op	   7017662 events/sec
+BenchmarkGamingMillionSessions-8             	       1	12769540905 ns/op	    337047 events/sec	       268.5 peakRSS-MB
 PASS
 ok  	mcs	1.511s
 `
@@ -22,29 +23,41 @@ func TestParseBenchNormalizesNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(measured) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(measured))
+	if len(measured) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(measured))
 	}
-	if ns := measured["BenchmarkKernelThroughput/schedule"]; ns != 199.4 {
-		t.Errorf("schedule ns/op = %v (GOMAXPROCS suffix not stripped?)", ns)
+	if e := measured["BenchmarkKernelThroughput/schedule"]; e.NsPerOp != 199.4 {
+		t.Errorf("schedule ns/op = %v (GOMAXPROCS suffix not stripped?)", e.NsPerOp)
 	}
-	if ns := measured["BenchmarkKernelThroughput/afterfunc"]; ns != 142.5 {
-		t.Errorf("afterfunc ns/op = %v", ns)
+	if e := measured["BenchmarkKernelThroughput/afterfunc"]; e.NsPerOp != 142.5 {
+		t.Errorf("afterfunc ns/op = %v", e.NsPerOp)
+	}
+	if e := measured["BenchmarkKernelThroughput/schedule"]; e.EventsPerSec != 5016158 {
+		t.Errorf("schedule events/sec = %v, want 5016158", e.EventsPerSec)
+	}
+	got := measured["BenchmarkGamingMillionSessions"]
+	if got.EventsPerSec != 337047 || got.PeakRSSMB != 268.5 {
+		t.Errorf("million-session metrics = %+v, want events/sec 337047 and peakRSS-MB 268.5", got)
 	}
 }
 
 func TestParseBenchKeepsBestOfN(t *testing.T) {
-	// -count=3 output: three lines per benchmark; the minimum wins.
-	repeated := `BenchmarkKernelThroughput/schedule-8  100  250.0 ns/op
-BenchmarkKernelThroughput/schedule-8  100  199.0 ns/op
-BenchmarkKernelThroughput/schedule-8  100  230.0 ns/op
+	// -count=3 output: three lines per benchmark; the minimum-ns/op line
+	// wins, and its metric columns ride along as one coherent measurement.
+	repeated := `BenchmarkKernelThroughput/schedule-8  100  250.0 ns/op  4000000 events/sec  300.0 peakRSS-MB
+BenchmarkKernelThroughput/schedule-8  100  199.0 ns/op  5000000 events/sec  290.0 peakRSS-MB
+BenchmarkKernelThroughput/schedule-8  100  230.0 ns/op  4300000 events/sec  310.0 peakRSS-MB
 `
 	measured, err := parseBench(strings.NewReader(repeated))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ns := measured["BenchmarkKernelThroughput/schedule"]; ns != 199.0 {
-		t.Errorf("best-of-3 = %v, want 199.0", ns)
+	e := measured["BenchmarkKernelThroughput/schedule"]
+	if e.NsPerOp != 199.0 {
+		t.Errorf("best-of-3 ns/op = %v, want 199.0", e.NsPerOp)
+	}
+	if e.EventsPerSec != 5000000 || e.PeakRSSMB != 290.0 {
+		t.Errorf("metrics from winning line = %+v, want events/sec 5000000 and peakRSS-MB 290.0", e)
 	}
 }
 
@@ -78,6 +91,35 @@ func TestWriteThenCompareRoundTrip(t *testing.T) {
 	out.Reset()
 	if err := run([]string{"-baseline", path}, strings.NewReader(fast), &out); err != nil {
 		t.Errorf("speedup failed the gate: %v", err)
+	}
+}
+
+func TestCompareGatesPeakRSS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out strings.Builder
+	if err := run([]string{"-write", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	// 30% more RSS at identical ns/op: fails the default 25% RSS gate.
+	bloated := strings.ReplaceAll(sampleBench, "268.5 peakRSS-MB", "350.0 peakRSS-MB")
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(bloated), &out); err == nil {
+		t.Fatalf("30%% RSS regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "RSS-REGRESSED") {
+		t.Errorf("no RSS-REGRESSED marker in report:\n%s", out.String())
+	}
+	// Same bloat under a loosened RSS gate: passes.
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-max-rss-regress", "0.5"}, strings.NewReader(bloated), &out); err != nil {
+		t.Errorf("loosened RSS gate still failed: %v\n%s", err, out.String())
+	}
+	// A run whose lines carry no peakRSS-MB column skips the RSS gate
+	// entirely (the kernel benchmarks never report it).
+	noRSS := strings.ReplaceAll(sampleBench, "\t       268.5 peakRSS-MB", "")
+	out.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(noRSS), &out); err != nil {
+		t.Errorf("run without RSS columns failed against an RSS baseline: %v\n%s", err, out.String())
 	}
 }
 

@@ -159,6 +159,9 @@ func (a *autoscaleScenario) Configure(raw json.RawMessage) error {
 	if err := cfg.RejectFailures("autoscale"); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("autoscale"); err != nil {
+		return err
+	}
 	policy, err := PolicyByName(cfg.Policy, cfg)
 	if err != nil {
 		return err

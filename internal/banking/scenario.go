@@ -79,6 +79,9 @@ func (b *bankingScenario) Configure(raw json.RawMessage) error {
 	if err := cfg.RejectFailures("banking"); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("banking"); err != nil {
+		return err
+	}
 	if cfg.Transactions <= 0 {
 		cfg.Transactions = 5000
 	}

@@ -106,6 +106,9 @@ func (f *faasScenario) Configure(raw json.RawMessage) error {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("faas"); err != nil {
+		return err
+	}
 	if len(cfg.Functions) == 0 {
 		// Default catalog: the serverless example's image pipeline.
 		cfg.Functions = []FunctionJSON{

@@ -1,0 +1,67 @@
+package gaming
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcs/internal/sim"
+)
+
+func mallocsDuring(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestRunWorldSteadyStateAllocs pins the columnar engine's allocation
+// behavior: once the handle columns, zone membership slices, and tie table
+// reach their steady-state sizes, the churn path — move and depart events
+// recycling handles and pooled kernel events — allocates nothing.
+//
+// The probe isolates churn: the same workload over the same horizon, with
+// the move interval quartered. Arrivals, admission, and the handle
+// population are identical; the extra events are all zone moves. The
+// allocation delta must be amortized-growth noise (tie-table rehashes,
+// membership slice doublings — logarithmic counts), not per-event cost.
+func TestRunWorldSteadyStateAllocs(t *testing.T) {
+	cfg := smallWorld()
+	cfg.ArrivalPerHour = 2000
+	cfg.Horizon = 24 * time.Hour
+	w, err := GenerateSessions(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = w
+
+	run := func(moveEvery float64) uint64 {
+		c := cfg
+		c.MoveEveryMinutes = moveEvery
+		k := sim.New(c.Seed)
+		if _, err := RunWorldOn(k, c); err != nil {
+			t.Fatal(err)
+		}
+		return k.Processed()
+	}
+	run(5) // warm any process-global state
+
+	var slowEvents, fastEvents uint64
+	slowAllocs := mallocsDuring(func() { slowEvents = run(10) })
+	fastAllocs := mallocsDuring(func() { fastEvents = run(2.5) })
+	extraEvents := fastEvents - slowEvents
+	if extraEvents < 10_000 {
+		t.Fatalf("quartering the move interval added only %d events; workload too small to measure", extraEvents)
+	}
+	var extraAllocs uint64
+	if fastAllocs > slowAllocs {
+		extraAllocs = fastAllocs - slowAllocs
+	}
+	if perEvent := float64(extraAllocs) / float64(extraEvents); perEvent > 0.01 {
+		t.Errorf("steady state allocates %.4f objects/event over %d extra move events (slow=%d fast=%d allocs); want ~0",
+			perEvent, extraEvents, slowAllocs, fastAllocs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"mcs/internal/failure"
@@ -73,14 +74,22 @@ type WorldResult struct {
 	// ConcurrentSeries tracks concurrent players over time.
 	ConcurrentSeries *stats.TimeSeries
 	ServerSeries     *stats.TimeSeries
-	// Interactions is the implicit social graph of co-zone presence,
-	// feeding the Gaming Analytics function.
-	Interactions *social.InteractionGraph
+	// Ties is the implicit social graph of co-zone presence in columnar
+	// form (actor id = player id), feeding the Gaming Analytics function.
+	// Use Interactions() for the string-keyed view the analyses consume.
+	Ties *social.PairGraph
+
+	interactions *social.InteractionGraph
 }
 
-type player struct {
-	id   int
-	zone int
+// Interactions materializes (once) the string-keyed interaction graph from
+// the columnar tie store — the exact graph pre-refactor runs built during
+// the simulation, for the analytics layer (communities, toxicity).
+func (r *WorldResult) Interactions() *social.InteractionGraph {
+	if r.interactions == nil {
+		r.interactions = r.Ties.Materialize(func(id int32) string { return playerName(int(id)) })
+	}
+	return r.interactions
 }
 
 // RunWorld simulates the virtual world and returns its result.
@@ -116,14 +125,27 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 	res := &WorldResult{
 		ConcurrentSeries: stats.NewTimeSeries(),
 		ServerSeries:     stats.NewTimeSeries(),
-		Interactions:     social.NewInteractionGraph(),
+		Ties:             social.NewPairGraph(0, 0),
 	}
 	zonePop := make([]int, cfg.Zones)
-	// Per-zone membership as swap-delete slices (+ a position index): map
+	// Per-zone membership as swap-delete slices (+ a position column): map
 	// iteration order here would make the sampled co-presence ties — and so
 	// the analytics graph — differ between same-seed runs.
-	zoneMembers := make([][]int, cfg.Zones)
-	memberPos := make(map[int]int)
+	//
+	// Player state is struct-of-arrays indexed by an integer handle: no
+	// per-player allocation in steady state (handles recycle through a free
+	// list, the columns and the per-handle handler closures with them) and
+	// contiguous slices for the hot zone scans. zone[h] < 0 marks a departed
+	// player; pid[h] is the global player id the tie graph records.
+	var (
+		zone    []int32
+		pid     []int32
+		pos     []int32
+		departH []sim.Handler
+		moveH   []sim.Handler
+		free    []int32
+	)
+	zoneMembers := make([][]int32, cfg.Zones)
 	concurrent := 0
 	nextID := 0
 
@@ -160,33 +182,67 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 		return total
 	}
 
-	enter := func(p *player, zone int, now sim.Time) {
-		p.zone = zone
-		zonePop[zone]++
+	enter := func(h int32, z int) {
+		zone[h] = int32(z)
+		zonePop[z]++
 		// Record implicit co-presence ties with up to 3 current members —
 		// the slice tail, which swap-deletes reorder arbitrarily; the point
 		// is a deterministic sample (reproducible same-seed runs), not
 		// recency.
-		members := zoneMembers[zone]
+		members := zoneMembers[z]
 		lo := len(members) - 3
 		if lo < 0 {
 			lo = 0
 		}
 		for _, other := range members[lo:] {
-			res.Interactions.AddInteraction(playerName(p.id), playerName(other), 1)
+			res.Ties.AddEdge(pid[h], pid[other], 1)
 		}
-		memberPos[p.id] = len(members)
-		zoneMembers[zone] = append(members, p.id)
+		pos[h] = int32(len(members))
+		zoneMembers[z] = append(members, h)
 	}
-	leaveZone := func(p *player) {
-		zonePop[p.zone]--
-		members := zoneMembers[p.zone]
-		i := memberPos[p.id]
-		last := len(members) - 1
+	leaveZone := func(h int32) {
+		z := zone[h]
+		zonePop[z]--
+		members := zoneMembers[z]
+		i := pos[h]
+		last := int32(len(members) - 1)
 		members[i] = members[last]
-		memberPos[members[i]] = i
-		zoneMembers[p.zone] = members[:last]
-		delete(memberPos, p.id)
+		pos[members[i]] = i
+		zoneMembers[z] = members[:last]
+	}
+	// alloc hands out a player handle, reusing a freed one when available.
+	// The two handler closures are built once per handle and recycled with
+	// it, so a steady-state arrival schedules three events without a single
+	// heap allocation.
+	alloc := func() int32 {
+		if n := len(free); n > 0 {
+			h := free[n-1]
+			free = free[:n-1]
+			return h
+		}
+		h := int32(len(zone))
+		zone = append(zone, 0)
+		pid = append(pid, 0)
+		pos = append(pos, 0)
+		departH = append(departH, func(sim.Time) {
+			leaveZone(h)
+			zone[h] = -1
+			concurrent--
+		})
+		moveH = append(moveH, func(now sim.Time) {
+			if zone[h] < 0 {
+				// The one stale move event after departure: nothing else is
+				// pending for this handle, so it is safe to recycle. Freeing
+				// here (never at departure) is what makes reuse sound — a
+				// handle is reissued only after its last event has fired.
+				free = append(free, h)
+				return
+			}
+			leaveZone(h)
+			enter(h, k.Rand().Intn(cfg.Zones))
+			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), moveH[h])
+		})
+		return h
 	}
 
 	var overloadTime time.Duration
@@ -241,46 +297,53 @@ func RunWorldOn(k *sim.Kernel, cfg WorldConfig) (*WorldResult, error) {
 		}
 	}
 
-	var movePlayer func(p *player) sim.Handler
-	movePlayer = func(p *player) sim.Handler {
-		return func(now sim.Time) {
-			if p.zone < 0 {
-				return // already departed
-			}
-			leaveZone(p)
-			enter(p, k.Rand().Intn(cfg.Zones), now)
-			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
-		}
-	}
 	// Replay the session workload: every player whose arrival falls inside
 	// the horizon joins at their submit time for their recorded session
 	// length. Zone entry, movement, and co-presence sampling draw from the
 	// kernel RNG in arrival order — the same consumption sequence whether
 	// the workload was synthesized or read from a trace.
+	//
+	// Arrivals are pre-extracted into one column and admitted with a single
+	// ScheduleBatch sharing one handler; a cursor walks the column in firing
+	// order. The stable sort by submit time reproduces the per-job
+	// ScheduleAt loop's firing order exactly: the kernel fires by (time,
+	// admission order), and both the old loop and the sorted batch admit
+	// same-instant arrivals in job order.
+	type arrival struct {
+		at      sim.Time
+		session time.Duration
+	}
+	arrivals := make([]arrival, 0, len(sessions.Jobs))
 	for i := range sessions.Jobs {
 		j := &sessions.Jobs[i]
 		if j.Submit >= cfg.Horizon || len(j.Tasks) == 0 {
 			continue
 		}
-		session := j.Tasks[0].Runtime
-		if _, err := k.ScheduleAt(sim.Time(j.Submit), func(now sim.Time) {
-			nextID++
-			p := &player{id: nextID}
-			res.PlayersServed++
-			concurrent++
-			if concurrent > res.PeakConcurrent {
-				res.PeakConcurrent = concurrent
-			}
-			enter(p, k.Rand().Intn(cfg.Zones), now)
-			k.AfterFunc(session, func(sim.Time) {
-				leaveZone(p)
-				p.zone = -1
-				concurrent--
-			})
-			k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), movePlayer(p))
-		}); err != nil {
-			return nil, err
+		arrivals = append(arrivals, arrival{at: sim.Time(j.Submit), session: j.Tasks[0].Runtime})
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+	cursor := 0
+	arrive := func(now sim.Time) {
+		session := arrivals[cursor].session
+		cursor++
+		nextID++
+		h := alloc()
+		pid[h] = int32(nextID)
+		res.PlayersServed++
+		concurrent++
+		if concurrent > res.PeakConcurrent {
+			res.PeakConcurrent = concurrent
 		}
+		enter(h, k.Rand().Intn(cfg.Zones))
+		k.AfterFunc(session, departH[h])
+		k.AfterFunc(expDuration(k, cfg.MoveEveryMinutes), moveH[h])
+	}
+	batch := make([]sim.BatchItem, len(arrivals))
+	for i := range arrivals {
+		batch[i] = sim.BatchItem{At: arrivals[i].at, Fn: arrive}
+	}
+	if err := k.ScheduleBatch(batch); err != nil {
+		return nil, err
 	}
 	k.SetMaxEvents(20_000_000)
 	k.RunUntil(sim.Time(cfg.Horizon))

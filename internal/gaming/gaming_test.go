@@ -42,7 +42,7 @@ func TestRunWorldBasics(t *testing.T) {
 	if res.OverloadTimeShare < 0 || res.OverloadTimeShare > 1 {
 		t.Errorf("overload share=%v", res.OverloadTimeShare)
 	}
-	if res.Interactions.NumEdges() == 0 {
+	if res.Ties.NumEdges() == 0 {
 		t.Error("no implicit social ties recorded")
 	}
 	if res.ConcurrentSeries.Len() == 0 || res.ServerSeries.Len() == 0 {
@@ -190,8 +190,8 @@ func TestToxicityDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(7))
-	truth, reports := ToxicityGroundTruth(res.Interactions, 0.05, r)
-	det := DetectToxicity(res.Interactions, reports, truth, 0.15)
+	truth, reports := ToxicityGroundTruth(res.Interactions(), 0.05, r)
+	det := DetectToxicity(res.Interactions(), reports, truth, 0.15)
 	if det.Precision == 0 && det.Recall == 0 {
 		t.Skip("seed produced no detectable toxic players")
 	}

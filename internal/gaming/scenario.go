@@ -77,6 +77,9 @@ func (g *gamingScenario) Configure(raw json.RawMessage) error {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("gaming"); err != nil {
+		return err
+	}
 	if cfg.Zones <= 0 {
 		cfg.Zones = 12
 	}
@@ -153,7 +156,7 @@ func (g *gamingScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 		"peakServers":       float64(res.PeakServers),
 		"meanServers":       res.MeanServers,
 		"overloadTimeShare": res.OverloadTimeShare,
-		"socialTies":        float64(res.Interactions.NumEdges()),
+		"socialTies":        float64(res.Ties.NumEdges()),
 	}
 	g.overlay.AddMetrics(metrics, scenario.FailureShard{
 		Events: g.cfg.Failures,

@@ -211,6 +211,9 @@ func (d *datacenterScenario) Configure(raw json.RawMessage) error {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("datacenter"); err != nil {
+		return err
+	}
 	sc, err := Build(cfg)
 	if err != nil {
 		return err

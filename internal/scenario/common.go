@@ -85,6 +85,17 @@ func ParseEnvelope(raw json.RawMessage) (Envelope, error) {
 	return ParseCommon(raw)
 }
 
+// RejectParallel is the guard for kinds with no intra-run shard axis: a
+// document that sets "parallel" on them errors loudly instead of silently
+// no-opping — a sweep over /parallel on such a kind would otherwise burn
+// cells measuring nothing. Mirrors RejectFailures.
+func (c Common) RejectParallel(kind string) error {
+	if c.Parallel != 0 {
+		return fmt.Errorf("scenario %q does not shard and ignores parallel; remove the field (sharding kinds: federation, graph, sweep)", kind)
+	}
+	return nil
+}
+
 // Schemer is optionally implemented by scenarios that publish the Go value
 // of their full document schema, enabling strict parsing: Strict decodes the
 // document into a fresh schema value with unknown fields disallowed, so a

@@ -289,6 +289,26 @@ func TestRejectFailuresUnsupportedKinds(t *testing.T) {
 	}
 }
 
+// TestRejectParallelNonShardingKinds pins the loud error for kinds with no
+// intra-run shard axis: "parallel" on them used to no-op silently, so a sweep
+// over /parallel measured nothing.
+func TestRejectParallelNonShardingKinds(t *testing.T) {
+	for _, kind := range []string{"datacenter", "faas", "gaming", "banking", "autoscale", "social"} {
+		doc := `{"kind": "` + kind + `", "seed": 1, "parallel": 2}`
+		_, err := scenario.RunDocument(json.RawMessage(doc))
+		if err == nil {
+			t.Errorf("%s: parallel field silently ignored", kind)
+			continue
+		}
+		if !strings.Contains(err.Error(), "does not shard") {
+			t.Errorf("%s: error %q does not explain the missing shard axis", kind, err)
+		}
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("%s: error %q does not name the kind", kind, err)
+		}
+	}
+}
+
 // TestSweepLevelFailuresRejected pins that the overlay belongs in the base
 // document, where it sweeps like any other section.
 func TestSweepLevelFailuresRejected(t *testing.T) {

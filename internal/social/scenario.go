@@ -10,6 +10,7 @@ package social
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"mcs/internal/scenario"
@@ -76,6 +77,9 @@ func (s *socialScenario) Configure(raw json.RawMessage) error {
 	if err := cfg.RejectFailures("social"); err != nil {
 		return err
 	}
+	if err := cfg.RejectParallel("social"); err != nil {
+		return err
+	}
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 400
 	}
@@ -130,12 +134,24 @@ func (s *socialScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 		return nil, err
 	}
 
-	g := s.buildGraphOn(k, w)
+	g, names := s.buildPairGraphOn(k, w)
 
-	labels := g.Communities(s.cfg.CommunityIterations)
-	communitySize := make(map[string]int)
-	largest := 0
-	for _, l := range labels {
+	// Rank-based label propagation over the columnar graph: identical
+	// communities to InteractionGraph.Communities on the materialized view
+	// (pinned by TestPairGraphCommunitiesMatchStringPropagation), without
+	// ever building the string-keyed maps.
+	rank := g.RankByName(func(id int32) string { return names[id] })
+	labels := g.Communities(s.cfg.CommunityIterations, rank)
+	communitySize := make([]int, len(names))
+	communities, largest := 0, 0
+	for id := range names {
+		if !g.Present(int32(id)) {
+			continue
+		}
+		l := labels[id]
+		if communitySize[l] == 0 {
+			communities++
+		}
 		communitySize[l]++
 		if communitySize[l] > largest {
 			largest = communitySize[l]
@@ -150,7 +166,7 @@ func (s *socialScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	if len(groups) > 0 {
 		meanBatch /= float64(len(groups))
 	}
-	actors := len(g.Actors())
+	actors := g.NumActors()
 	largestShare := 0.0
 	if actors > 0 {
 		largestShare = float64(largest) / float64(actors)
@@ -160,7 +176,7 @@ func (s *socialScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 			"jobs":                  float64(len(w.Jobs)),
 			"actors":                float64(actors),
 			"ties":                  float64(g.NumEdges()),
-			"communities":           float64(len(communitySize)),
+			"communities":           float64(communities),
 			"largestCommunityShare": largestShare,
 			"dominantUsers":         float64(len(dominant)),
 			"groupings":             float64(len(groups)),
@@ -170,32 +186,90 @@ func (s *socialScenario) Run(k *sim.Kernel) (*scenario.Result, error) {
 	}, nil
 }
 
-// buildGraphOn replays every submission as a kernel event, tying each job's
-// user to the users seen within the co-occurrence window — the event-driven
-// twin of FromWorkload (see TestOnlineGraphMatchesFromWorkload).
-func (s *socialScenario) buildGraphOn(k *sim.Kernel, w *workload.Workload) *InteractionGraph {
-	g := NewInteractionGraph()
-	type seen struct {
-		user string
-		at   time.Duration
+// buildPairGraphOn replays every submission as a kernel event, tying each
+// job's user to the users seen within the co-occurrence window — the
+// event-driven twin of FromWorkload (see TestOnlineGraphMatchesFromWorkload).
+//
+// The hot path is columnar: users are interned to dense int32 ids up front,
+// the co-occurrence window is a chronological ring over two flat columns
+// (expired entries are always a prefix, because events fire in time order),
+// and all submissions share one handler walking the sorted arrival column by
+// cursor — so a steady-state event touches no maps, no strings, and
+// allocates nothing. Returns the graph and the id→name table.
+//
+// Arrivals are chained — each firing schedules the next — rather than
+// admitted in one batch: the kernel then holds ONE pending arrival at a
+// time, recycled through the event pool (or the by-value wheel), instead of
+// a million live Events. Chaining is order-safe here precisely because this
+// kernel carries no other event type: firing order is the sorted arrival
+// order either way.
+func (s *socialScenario) buildPairGraphOn(k *sim.Kernel, w *workload.Workload) (*PairGraph, []string) {
+	g := NewPairGraph(0, 0)
+	uid := make(map[string]int32, 64)
+	names := make([]string, 0, 64)
+	type arrival struct {
+		at  sim.Time
+		uid int32
 	}
-	var recent []seen
+	arrivals := make([]arrival, len(w.Jobs))
 	for i := range w.Jobs {
-		job := &w.Jobs[i]
-		k.MustSchedule(job.Submit, func(now sim.Time) {
-			g.AddActor(job.User)
-			keep := recent[:0]
-			for _, r := range recent {
-				if now-r.at <= s.window {
-					keep = append(keep, r)
-					if r.user != job.User {
-						g.AddInteraction(r.user, job.User, 1)
-					}
-				}
+		u := w.Jobs[i].User
+		id, ok := uid[u]
+		if !ok {
+			id = int32(len(names))
+			uid[u] = id
+			names = append(names, u)
+		}
+		arrivals[i] = arrival{at: sim.Time(w.Jobs[i].Submit), uid: id}
+	}
+	// The stable sort keeps same-instant submissions in job order, so the
+	// cursor walk reproduces the firing order of the per-job schedule loop
+	// this replaces (the kernel fires by time, then admission order).
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+
+	var (
+		recentUID []int32
+		recentAt  []sim.Time
+		head      int
+		cursor    int
+	)
+	var submit sim.Handler
+	submit = func(now sim.Time) {
+		u := arrivals[cursor].uid
+		cursor++
+		if cursor < len(arrivals) {
+			k.AfterFunc(arrivals[cursor].at-now, submit)
+		}
+		g.AddActor(u)
+		for head < len(recentUID) && now-recentAt[head] > sim.Time(s.window) {
+			head++
+		}
+		for i := head; i < len(recentUID); i++ {
+			if recentUID[i] != u {
+				g.AddEdge(recentUID[i], u, 1)
 			}
-			recent = append(keep, seen{user: job.User, at: now})
-		})
+		}
+		// Compact once the expired prefix dominates: amortized O(1), and the
+		// backing arrays stop growing once the window population peaks.
+		if head > 64 && head*2 >= len(recentUID) {
+			n := copy(recentUID, recentUID[head:])
+			copy(recentAt, recentAt[head:])
+			recentUID, recentAt = recentUID[:n], recentAt[:n]
+			head = 0
+		}
+		recentUID = append(recentUID, u)
+		recentAt = append(recentAt, now)
+	}
+	if len(arrivals) > 0 {
+		k.AfterFunc(arrivals[0].at, submit)
 	}
 	k.Run()
-	return g
+	return g, names
+}
+
+// buildGraphOn is the string-keyed view of buildPairGraphOn, kept for the
+// FromWorkload equivalence test: same replay, materialized at the end.
+func (s *socialScenario) buildGraphOn(k *sim.Kernel, w *workload.Workload) *InteractionGraph {
+	g, names := s.buildPairGraphOn(k, w)
+	return g.Materialize(func(id int32) string { return names[id] })
 }

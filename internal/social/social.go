@@ -233,7 +233,12 @@ func JobGroupings(w *workload.Workload, gap time.Duration) []Grouping {
 	var out []Grouping
 	for _, u := range users {
 		entries := byUser[u]
-		sort.Slice(entries, func(i, j int) bool { return entries[i].at < entries[j].at })
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].at != entries[j].at {
+				return entries[i].at < entries[j].at
+			}
+			return entries[i].id < entries[j].id
+		})
 		cur := Grouping{User: u}
 		for _, e := range entries {
 			if len(cur.Jobs) > 0 && e.at-cur.End > gap {

@@ -151,6 +151,28 @@ func TestJobGroupings(t *testing.T) {
 	}
 }
 
+func TestJobGroupingsSameInstantOrderedByID(t *testing.T) {
+	// Same-instant submissions by one user must land in the grouping in
+	// job-ID order regardless of the (arbitrary) workload slice order —
+	// sort.Slice is unstable, so the sort needs an explicit ID tie-break.
+	w := &workload.Workload{}
+	mk := func(id int, at time.Duration) workload.Job {
+		return workload.Job{ID: workload.JobID(id), User: "carol", Submit: at,
+			Tasks: []workload.Task{{ID: workload.TaskID(id), Cores: 1, MemoryMB: 1, Runtime: time.Second}}}
+	}
+	w.Jobs = append(w.Jobs, mk(5, time.Minute), mk(2, time.Minute), mk(9, time.Minute))
+	groups := JobGroupings(w, 10*time.Minute)
+	if len(groups) != 1 {
+		t.Fatalf("groups=%d, want 1: %+v", len(groups), groups)
+	}
+	want := []workload.JobID{2, 5, 9}
+	for i, id := range groups[0].Jobs {
+		if id != want[i] {
+			t.Fatalf("same-instant jobs out of ID order: got %v, want %v", groups[0].Jobs, want)
+		}
+	}
+}
+
 func TestGroupPredictor(t *testing.T) {
 	history := []Grouping{
 		{User: "alice", Jobs: make([]workload.JobID, 4)},
