@@ -64,6 +64,74 @@ func TestLedgerRejections(t *testing.T) {
 	}
 }
 
+func TestLedgerSelfTransferRejected(t *testing.T) {
+	l := NewLedger()
+	a, err := l.OpenAccount("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer("a", "a", 10); !errors.Is(err, ErrSelfTransfer) {
+		t.Errorf("self transfer by id: %v", err)
+	}
+	if err := l.TransferBetween(a, a, 10); !errors.Is(err, ErrSelfTransfer) {
+		t.Errorf("self transfer by handle: %v", err)
+	}
+	if got, _ := l.Balance("a"); got != 100 {
+		t.Errorf("balance changed to %d by rejected self transfer", got)
+	}
+	if len(l.Entries()) != 0 {
+		t.Errorf("self transfer logged %d entries, want none", len(l.Entries()))
+	}
+	// A bad amount outranks the self check, matching Transfer's order.
+	if err := l.TransferBetween(a, a, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero self transfer: %v", err)
+	}
+}
+
+func TestLedgerHandleAPI(t *testing.T) {
+	l := NewLedger()
+	a, err := l.OpenAccount("alice", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.OpenAccount("bob", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Handle("alice"); err != nil || got != a {
+		t.Fatalf("Handle(alice) = %v, %v; want %v", got, err, a)
+	}
+	if _, err := l.Handle("ghost"); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("unknown handle lookup: %v", err)
+	}
+	if got := l.ID(b); got != "bob" {
+		t.Errorf("ID(%v) = %q", b, got)
+	}
+	l.Grow(4)
+	if err := l.TransferBetween(a, b, 300); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.BalanceOf(a); got != 700 {
+		t.Errorf("BalanceOf(a) = %d, want 700", got)
+	}
+	if got := l.BalanceOf(b); got != 800 {
+		t.Errorf("BalanceOf(b) = %d, want 800", got)
+	}
+	if err := l.TransferBetween(a, Account(99), 1); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("out-of-range to handle: %v", err)
+	}
+	if err := l.TransferBetween(Account(-1), b, 1); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("negative from handle: %v", err)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	entries := l.Entries()
+	if len(entries) != 1 || entries[0] != (Entry{From: "alice", To: "bob", Cents: 300}) {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
 // Property: conservation holds under arbitrary transfer sequences, accepted
 // or rejected.
 func TestLedgerConservationProperty(t *testing.T) {

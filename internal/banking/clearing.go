@@ -15,6 +15,16 @@ import (
 // compares deadline-aware (EDF) against deadline-oblivious (FCFS) queueing —
 // the paper's point (iii): "making resource management and scheduling a key
 // building block, capable of ensuring ... deadlines".
+//
+// The hot path is columnar (the PR 8 scheme gaming and social use): a
+// transaction in flight is an int32 handle into struct-of-arrays columns
+// (arrive/deadline/cents/stage), its per-handle completion closure is built
+// once and recycled with the handle through a free list, per-stage queues
+// are a FIFO ring (FCFS) or a 4-ary index min-heap (EDF — see queues.go
+// for the tie-break argument), and arrivals are admitted as one sorted
+// kernel stream. A steady-state event — service completion, queue pull,
+// next-stage hand-off — therefore allocates nothing; the columns grow to
+// the peak number of in-flight transactions, not the workload size.
 
 // Stage is one station of the clearing pipeline.
 type Stage struct {
@@ -77,16 +87,25 @@ type ClearingResult struct {
 	MaxQueueDepth int
 }
 
-// txState carries a transaction through the simulation.
-type txState struct {
-	tx     Transaction
-	stage  int
-	finish time.Duration
+// station is one pipeline stage's runtime state. The queue structures hold
+// handles, and readmit parks the handles whose zero-delay re-admission
+// event is in flight, so the shared per-station handler needs no closure
+// per pull (the kernel fires same-station re-admits in schedule order, the
+// order readmit preserves).
+type station struct {
+	busy     int
+	cap      int
+	svc      stats.Dist
+	fifo     handleRing
+	edf      edfHeap
+	readmit  handleRing
+	readmitH sim.Handler
 }
 
 // RunClearing pushes the transactions through the pipeline under the given
 // discipline and returns latency/deadline statistics. Transactions must be
-// sorted by arrival time.
+// sorted by arrival time (GenerateTransactions and TransactionsFromWorkload
+// both emit them sorted).
 func RunClearing(pipeline []Stage, txs []Transaction, disc QueueDiscipline, seed int64) (*ClearingResult, error) {
 	return RunClearingOn(sim.New(seed), pipeline, txs, disc)
 }
@@ -102,93 +121,145 @@ func RunClearingOn(k *sim.Kernel, pipeline []Stage, txs []Transaction, disc Queu
 			return nil, fmt.Errorf("banking: stage %q misconfigured", st.Name)
 		}
 	}
-	type station struct {
-		busy  int
-		queue []*txState
-		cap   int
-		svc   stats.Dist
-	}
-	stations := make([]*station, len(pipeline))
+	stations := make([]station, len(pipeline))
 	for i, st := range pipeline {
-		stations[i] = &station{cap: st.Servers, svc: st.ServiceSeconds}
+		stations[i] = station{cap: st.Servers, svc: st.ServiceSeconds}
 	}
 	res := &ClearingResult{}
-	var done []*txState
 
-	var admit func(s *txState)
-	var serveOrQueue func(si int, s *txState)
-	serve := func(si int, s *txState) {
-		st := stations[si]
+	// Transaction columns, indexed by handle. A handle is live from arrival
+	// to settlement and then recycled; completion statistics fold into the
+	// accumulators below at settlement time, in completion order — the same
+	// order (and float arithmetic) the old done-list post-pass used.
+	var (
+		arrive   []time.Duration
+		deadline []time.Duration
+		cents    []int64
+		stage    []int32
+		finishH  []sim.Handler
+		free     []int32
+	)
+	lats := make([]float64, 0, len(txs))
+	var latenessSum time.Duration
+
+	var serveOrQueue func(si int, h int32)
+	serve := func(si int, h int32) {
+		st := &stations[si]
 		st.busy++
 		svc := st.svc.Sample(k.Rand())
 		if svc < 0.001 {
 			svc = 0.001
 		}
-		k.AfterFunc(time.Duration(svc*float64(time.Second)), func(now sim.Time) {
-			st.busy--
-			// Pull the next queued transaction per discipline.
-			if len(st.queue) > 0 {
-				idx := 0
-				if disc == EDF {
-					for i := 1; i < len(st.queue); i++ {
-						if st.queue[i].tx.Deadline < st.queue[idx].tx.Deadline {
-							idx = i
-						}
-					}
-				}
-				next := st.queue[idx]
-				st.queue = append(st.queue[:idx], st.queue[idx+1:]...)
-				// Re-admit at this stage.
-				nextSI := si
-				k.AfterFunc(0, func(sim.Time) { serveOrQueue(nextSI, next) })
-			}
-			// Advance this transaction.
-			s.stage++
-			if s.stage == len(stations) {
-				s.finish = now
-				done = append(done, s)
-				return
-			}
-			admit(s)
-		})
+		k.AfterFunc(time.Duration(svc*float64(time.Second)), finishH[h])
 	}
-	serveOrQueue = func(si int, s *txState) {
-		st := stations[si]
+	serveOrQueue = func(si int, h int32) {
+		st := &stations[si]
 		if st.busy < st.cap {
-			serve(si, s)
+			serve(si, h)
 			return
 		}
-		st.queue = append(st.queue, s)
-		if depth := len(st.queue); depth > res.MaxQueueDepth {
+		var depth int
+		if disc == EDF {
+			st.edf.push(h, deadline[h])
+			depth = st.edf.len()
+		} else {
+			st.fifo.push(h)
+			depth = st.fifo.len()
+		}
+		if depth > res.MaxQueueDepth {
 			res.MaxQueueDepth = depth
 		}
 	}
-	admit = func(s *txState) { serveOrQueue(s.stage, s) }
-
-	arrivals := make([]sim.BatchItem, len(txs))
-	for i := range txs {
-		s := &txState{tx: txs[i]}
-		arrivals[i] = sim.BatchItem{At: txs[i].Arrive, Fn: func(sim.Time) { admit(s) }}
+	// stageDone is the body of every per-handle completion closure: free
+	// the server, pull the next queued transaction per discipline, advance
+	// (or settle) this transaction.
+	stageDone := func(h int32, now sim.Time) {
+		si := int(stage[h])
+		st := &stations[si]
+		st.busy--
+		// The pull's re-admission stays a zero-delay kernel event rather
+		// than a direct dispatch: Result envelopes expose the event count
+		// (the golden backlog captures carry ~143k re-admit events in their
+		// 893014 totals), so dropping the event would be observable.
+		if disc == EDF {
+			if st.edf.len() > 0 {
+				st.readmit.push(st.edf.pop())
+				k.AfterFunc(0, st.readmitH)
+			}
+		} else {
+			if st.fifo.len() > 0 {
+				st.readmit.push(st.fifo.pop())
+				k.AfterFunc(0, st.readmitH)
+			}
+		}
+		stage[h]++
+		if int(stage[h]) == len(stations) {
+			res.Completed++
+			lat := now - arrive[h]
+			lats = append(lats, lat.Seconds())
+			if deadline[h] > 0 && now > deadline[h] {
+				res.DeadlineMiss++
+				latenessSum += now - deadline[h]
+			}
+			free = append(free, h)
+			return
+		}
+		serveOrQueue(si+1, h)
 	}
-	if err := k.ScheduleBatch(arrivals); err != nil {
+	// alloc hands out a transaction handle, reusing a freed one when
+	// available. The completion closure is built once per handle and
+	// recycled with it, so a steady-state service event carries no
+	// allocation; exactly one event references a handle at any moment
+	// (in service, queued, or awaiting re-admission), which is what makes
+	// settlement-time recycling sound.
+	alloc := func() int32 {
+		if n := len(free); n > 0 {
+			h := free[n-1]
+			free = free[:n-1]
+			return h
+		}
+		h := int32(len(stage))
+		arrive = append(arrive, 0)
+		deadline = append(deadline, 0)
+		cents = append(cents, 0)
+		stage = append(stage, 0)
+		finishH = append(finishH, nil)
+		finishH[h] = func(now sim.Time) { stageDone(h, now) }
+		return h
+	}
+	for i := range stations {
+		si := i
+		st := &stations[i]
+		st.readmitH = func(sim.Time) { serveOrQueue(si, st.readmit.pop()) }
+	}
+
+	// Admit the arrival stream: one sorted kernel stream sharing a single
+	// handler and a cursor — zero per-arrival allocation, with firing order
+	// identical to the per-transaction batch it replaces (same contiguous
+	// sequence block; see sim.ScheduleStream).
+	at := make([]sim.Time, len(txs))
+	for i := range txs {
+		at[i] = txs[i].Arrive
+	}
+	cursor := 0
+	admit := func(sim.Time) {
+		tx := &txs[cursor]
+		cursor++
+		h := alloc()
+		arrive[h] = tx.Arrive
+		deadline[h] = tx.Deadline
+		cents[h] = tx.Cents
+		stage[h] = 0
+		serveOrQueue(0, h)
+	}
+	if err := k.ScheduleStream(at, admit); err != nil {
 		return nil, fmt.Errorf("banking: schedule arrivals: %w", err)
 	}
 	k.SetMaxEvents(20_000_000)
 	k.Run()
 
-	if len(done) == 0 {
+	if res.Completed == 0 {
 		return res, nil
-	}
-	var lats []float64
-	var latenessSum time.Duration
-	for _, s := range done {
-		res.Completed++
-		lat := s.finish - s.tx.Arrive
-		lats = append(lats, lat.Seconds())
-		if s.tx.Deadline > 0 && s.finish > s.tx.Deadline {
-			res.DeadlineMiss++
-			latenessSum += s.finish - s.tx.Deadline
-		}
 	}
 	res.MissRate = float64(res.DeadlineMiss) / float64(res.Completed)
 	res.MeanLatency = time.Duration(stats.Mean(lats) * float64(time.Second))

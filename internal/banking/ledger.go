@@ -4,6 +4,14 @@
 // clearing pipeline in which payment transactions must complete within
 // regulatory deadlines — "PSD2 enforces strict performance targets,
 // including deadlines in clearing financial transactions".
+//
+// Both halves keep their hot state columnar (the struct-of-arrays scheme
+// gaming and social use, DESIGN.md "Columnar scenario state"): in-flight
+// transactions and ledger accounts are integer handles into parallel
+// columns, per-stage queues are handle rings and 4-ary index heaps
+// (queues.go), and steady-state operation — a service completion, a queue
+// pull, a warm Transfer — allocates nothing. The alloc probes and
+// BenchmarkBankingMillionTransactions pin this at 1M transactions.
 package banking
 
 import (
@@ -15,13 +23,31 @@ import (
 // AccountID identifies a ledger account.
 type AccountID string
 
+// Account is an integer handle into the ledger's columns — the hot-path
+// identity. Resolve it once at build time with Handle (or keep the value
+// Open returns through OpenAccount) and transfer through TransferBetween;
+// the string→handle map is touched only at open/lookup time.
+type Account int32
+
 // Ledger is an in-memory double-entry account book. Amounts are integer
 // cents: money must never be created or destroyed by rounding (the
 // conservation invariant property tests enforce).
+//
+// State is columnar: balances live in a flat int64 column indexed by
+// account handle, and the committed transfer log is three parallel columns
+// (from-handle, to-handle, cents). A warm transfer therefore touches two
+// column cells and appends three values — no map, no per-entry struct, and
+// with pre-reserved capacity (Grow) no allocation at all.
 type Ledger struct {
-	balances map[AccountID]int64
+	index    map[AccountID]Account // open/lookup only — never on the transfer path
+	ids      []AccountID           // handle → id, for rendering entries and audits
+	balances []int64
 	total    int64
-	entries  []Entry
+	// Committed transfer log as parallel columns; Entries materializes the
+	// struct view on demand.
+	entryFrom  []Account
+	entryTo    []Account
+	entryCents []int64
 }
 
 // Entry is one committed transfer.
@@ -35,54 +61,109 @@ var (
 	ErrUnknownAccount    = errors.New("banking: unknown account")
 	ErrInsufficientFunds = errors.New("banking: insufficient funds")
 	ErrBadAmount         = errors.New("banking: non-positive amount")
+	ErrSelfTransfer      = errors.New("banking: transfer to self")
 )
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{balances: make(map[AccountID]int64)}
+	return &Ledger{index: make(map[AccountID]Account)}
 }
 
 // Open creates an account with an opening balance (must be non-negative).
 func (l *Ledger) Open(id AccountID, openingCents int64) error {
-	if openingCents < 0 {
-		return fmt.Errorf("%w: opening balance %d", ErrBadAmount, openingCents)
-	}
-	if _, ok := l.balances[id]; ok {
-		return fmt.Errorf("banking: account %q already open", id)
-	}
-	l.balances[id] = openingCents
-	l.total += openingCents
-	return nil
+	_, err := l.OpenAccount(id, openingCents)
+	return err
 }
 
-// Balance returns an account balance.
-func (l *Ledger) Balance(id AccountID) (int64, error) {
-	b, ok := l.balances[id]
+// OpenAccount is Open returning the new account's handle, so hot-path
+// callers never need the string→handle map again.
+func (l *Ledger) OpenAccount(id AccountID, openingCents int64) (Account, error) {
+	if openingCents < 0 {
+		return 0, fmt.Errorf("%w: opening balance %d", ErrBadAmount, openingCents)
+	}
+	if _, ok := l.index[id]; ok {
+		return 0, fmt.Errorf("banking: account %q already open", id)
+	}
+	a := Account(len(l.balances))
+	l.index[id] = a
+	l.ids = append(l.ids, id)
+	l.balances = append(l.balances, openingCents)
+	l.total += openingCents
+	return a, nil
+}
+
+// Handle resolves an account id to its column handle.
+func (l *Ledger) Handle(id AccountID) (Account, error) {
+	a, ok := l.index[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownAccount, id)
 	}
-	return b, nil
+	return a, nil
 }
 
-// Transfer moves cents from one account to another atomically. Overdrafts
-// are rejected (no money creation).
+// ID returns the account id behind a handle.
+func (l *Ledger) ID(a Account) AccountID { return l.ids[a] }
+
+// Balance returns an account balance by id.
+func (l *Ledger) Balance(id AccountID) (int64, error) {
+	a, err := l.Handle(id)
+	if err != nil {
+		return 0, err
+	}
+	return l.balances[a], nil
+}
+
+// BalanceOf returns an account balance by handle — the hot-path read.
+func (l *Ledger) BalanceOf(a Account) int64 { return l.balances[a] }
+
+// Grow pre-reserves capacity for n additional log entries, so a settlement
+// burst of known size appends without reallocating.
+func (l *Ledger) Grow(n int) {
+	l.entryFrom = append(make([]Account, 0, len(l.entryFrom)+n), l.entryFrom...)
+	l.entryTo = append(make([]Account, 0, len(l.entryTo)+n), l.entryTo...)
+	l.entryCents = append(make([]int64, 0, len(l.entryCents)+n), l.entryCents...)
+}
+
+// Transfer moves cents from one account to another atomically, resolving
+// the ids through the account map. Overdrafts and self-transfers are
+// rejected (no money creation, no vacuous log entries).
 func (l *Ledger) Transfer(from, to AccountID, cents int64) error {
 	if cents <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadAmount, cents)
 	}
-	fb, ok := l.balances[from]
+	fa, ok := l.index[from]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAccount, from)
 	}
-	if _, ok := l.balances[to]; !ok {
+	ta, ok := l.index[to]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAccount, to)
 	}
-	if fb < cents {
-		return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, from, fb, cents)
+	return l.TransferBetween(fa, ta, cents)
+}
+
+// TransferBetween is Transfer on resolved handles — the map-free hot path.
+func (l *Ledger) TransferBetween(from, to Account, cents int64) error {
+	if cents <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, cents)
+	}
+	if from < 0 || int(from) >= len(l.balances) {
+		return fmt.Errorf("%w: handle %d", ErrUnknownAccount, from)
+	}
+	if to < 0 || int(to) >= len(l.balances) {
+		return fmt.Errorf("%w: handle %d", ErrUnknownAccount, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: %q", ErrSelfTransfer, l.ids[from])
+	}
+	if l.balances[from] < cents {
+		return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, l.ids[from], l.balances[from], cents)
 	}
 	l.balances[from] -= cents
 	l.balances[to] += cents
-	l.entries = append(l.entries, Entry{From: from, To: to, Cents: cents})
+	l.entryFrom = append(l.entryFrom, from)
+	l.entryTo = append(l.entryTo, to)
+	l.entryCents = append(l.entryCents, cents)
 	return nil
 }
 
@@ -92,33 +173,35 @@ func (l *Ledger) Total() int64 { return l.total }
 
 // CheckConservation recomputes the balance sum and verifies it against the
 // tracked total — the audit the paper's regulated-industry framing requires.
+// The scan walks the balance column only; no map is touched.
 func (l *Ledger) CheckConservation() error {
 	var sum int64
+	negative := false
 	for _, b := range l.balances {
 		sum += b
+		negative = negative || b < 0
 	}
 	if sum != l.total {
 		return fmt.Errorf("banking: conservation violated: balances sum to %d, want %d", sum, l.total)
 	}
-	for _, b := range l.balances {
-		if b < 0 {
-			return errors.New("banking: negative balance")
-		}
+	if negative {
+		return errors.New("banking: negative balance")
 	}
 	return nil
 }
 
 // Accounts returns all account ids, sorted.
 func (l *Ledger) Accounts() []AccountID {
-	out := make([]AccountID, 0, len(l.balances))
-	for id := range l.balances {
-		out = append(out, id)
-	}
+	out := append([]AccountID(nil), l.ids...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Entries returns a copy of the committed transfer log.
+// Entries materializes the committed transfer log from its columns.
 func (l *Ledger) Entries() []Entry {
-	return append([]Entry(nil), l.entries...)
+	out := make([]Entry, len(l.entryCents))
+	for i := range out {
+		out[i] = Entry{From: l.ids[l.entryFrom[i]], To: l.ids[l.entryTo[i]], Cents: l.entryCents[i]}
+	}
+	return out
 }

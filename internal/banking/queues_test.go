@@ -1,0 +1,120 @@
+package banking
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEDFQueue is the replaced implementation, kept verbatim as the
+// differential oracle: a linear scan with a strict `<` compare over an
+// order-preserving slice, so the first-queued transaction wins among equal
+// deadlines.
+type refEDFQueue struct {
+	handle   []int32
+	deadline []time.Duration
+}
+
+func (q *refEDFQueue) push(h int32, d time.Duration) {
+	q.handle = append(q.handle, h)
+	q.deadline = append(q.deadline, d)
+}
+
+func (q *refEDFQueue) pop() int32 {
+	idx := 0
+	for i := 1; i < len(q.deadline); i++ {
+		if q.deadline[i] < q.deadline[idx] {
+			idx = i
+		}
+	}
+	h := q.handle[idx]
+	q.handle = append(q.handle[:idx], q.handle[idx+1:]...)
+	q.deadline = append(q.deadline[:idx], q.deadline[idx+1:]...)
+	return h
+}
+
+// TestEDFHeapMatchesLinearScanReference drives the 4-ary index heap and the
+// old linear scan through identical randomized push/pop sequences and
+// demands identical pop order. Deadlines are drawn from a five-value set so
+// ties dominate — the case where the (deadline, seq) tie-break must
+// reproduce the scan's first-queued-wins order, the property the golden
+// byte-identity corpus depends on.
+func TestEDFHeapMatchesLinearScanReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var got edfHeap
+		var want refEDFQueue
+		next := int32(0)
+		for op := 0; op < 400; op++ {
+			if len(want.handle) == 0 || r.Intn(3) > 0 {
+				d := time.Duration(1+r.Intn(5)) * time.Second
+				got.push(next, d)
+				want.push(next, d)
+				next++
+				continue
+			}
+			g, w := got.pop(), want.pop()
+			if g != w {
+				t.Fatalf("seed %d op %d: heap popped %d, reference popped %d", seed, op, g, w)
+			}
+		}
+		for len(want.handle) > 0 {
+			g, w := got.pop(), want.pop()
+			if g != w {
+				t.Fatalf("seed %d drain: heap popped %d, reference popped %d", seed, g, w)
+			}
+		}
+		if got.len() != 0 {
+			t.Fatalf("seed %d: heap holds %d handles after drain", seed, got.len())
+		}
+	}
+}
+
+// TestHandleRingWraparound exercises the FCFS ring across wraparound and
+// growth: interleaved pushes and pops walk the head far past the buffer
+// length, and a burst forces grow() to unwrap a live window that straddles
+// the array end.
+func TestHandleRingWraparound(t *testing.T) {
+	var ring handleRing
+	var model []int32
+	r := rand.New(rand.NewSource(7))
+	next := int32(0)
+	grown := false
+	for op := 0; op < 2000; op++ {
+		if len(model) == 0 || r.Intn(2) == 0 {
+			ring.push(next)
+			model = append(model, next)
+			next++
+		} else {
+			got := ring.pop()
+			if got != model[0] {
+				t.Fatalf("op %d: ring popped %d, want %d", op, got, model[0])
+			}
+			model = model[1:]
+		}
+		if ring.len() != len(model) {
+			t.Fatalf("op %d: ring len %d, model len %d", op, ring.len(), len(model))
+		}
+		if op == 1000 {
+			// Burst to force at least one doubling with a wrapped window.
+			for i := 0; i < 50; i++ {
+				ring.push(next)
+				model = append(model, next)
+				next++
+			}
+			grown = true
+		}
+	}
+	if !grown || len(ring.buf) < 64 {
+		t.Fatalf("burst never forced growth (buf len %d)", len(ring.buf))
+	}
+	for len(model) > 0 {
+		if got := ring.pop(); got != model[0] {
+			t.Fatalf("drain: ring popped %d, want %d", got, model[0])
+		}
+		model = model[1:]
+	}
+	if ring.len() != 0 {
+		t.Fatalf("ring len %d after drain", ring.len())
+	}
+}

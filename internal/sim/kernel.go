@@ -24,6 +24,9 @@
 //     WithoutTimingWheel.
 //   - ScheduleBatch admits a pre-built slice of events in one heapify pass
 //     instead of n sift-ups (short-delay items route to the wheel too).
+//   - ScheduleStream admits a time-sorted slice sharing one handler behind a
+//     cursor (stream.go): zero allocation per item, with a reserved sequence
+//     block making it observationally identical to ScheduleBatch.
 //
 // Schedule/ScheduleAt/MustSchedule retain their original semantics: they
 // return a cancelable *Event handle the caller may hold indefinitely, so
@@ -99,7 +102,10 @@ type Kernel struct {
 	immHead int
 	// wheel is the timing-wheel front-end for short-delay fire-and-forget
 	// events (see wheel.go); nil when disabled via WithoutTimingWheel.
-	wheel     *timingWheel
+	wheel *timingWheel
+	// streams holds the live sorted arrival streams (see stream.go);
+	// exhausted streams are dropped as their last item fires.
+	streams   []*eventStream
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
@@ -157,12 +163,15 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of live events currently scheduled across the
-// heap, the immediate ring, and the timing wheel. Canceled events awaiting
-// lazy removal from the heap are not counted.
+// heap, the immediate ring, the timing wheel, and any admitted streams.
+// Canceled events awaiting lazy removal from the heap are not counted.
 func (k *Kernel) Pending() int {
 	n := len(k.queue) - k.canceledQueued + len(k.imm) - k.immHead
 	if k.wheel != nil {
 		n += k.wheel.count
+	}
+	for _, s := range k.streams {
+		n += len(s.at) - s.head
 	}
 	return n
 }
@@ -318,21 +327,23 @@ func (k *Kernel) Cancel(ev *Event) {
 	k.canceledQueued++
 }
 
-// Sources the three-way merge in Step can draw the next event from.
+// Sources the four-way merge in Step can draw the next event from.
 const (
 	srcNone = iota
 	srcImm
 	srcHeap
 	srcWheel
+	srcStream
 )
 
 // Step executes the next event, if any, advancing the clock to its time.
 // It reports whether an event was executed.
 //
-// The next event is the least (time, sequence) across the three queues: the
-// immediate ring (due at the current instant), the binary heap, and the
-// timing wheel. The strict merge is what makes the wheel observationally
-// invisible: firing order never depends on which queue an event landed in.
+// The next event is the least (time, sequence) across the four queues: the
+// immediate ring (due at the current instant), the binary heap, the timing
+// wheel, and the admitted stream heads. The strict merge is what makes the
+// wheel and the streams observationally invisible: firing order never
+// depends on which queue an event landed in.
 func (k *Kernel) Step() bool {
 	// Drop canceled events from the heap top so the merge compares live
 	// candidates only. Canceled events are always handle-bearing (never
@@ -364,7 +375,14 @@ func (k *Kernel) Step() bool {
 			wev = &w.buckets[t&w.mask][0]
 		}
 		if wev != nil && (src == srcNone || wev.at < at || (wev.at == at && wev.seq < seq)) {
-			src = srcWheel
+			src, at, seq = srcWheel, wev.at, wev.seq
+		}
+	}
+	var str *eventStream
+	for _, s := range k.streams {
+		sat, sseq := s.at[s.head], s.base+1+uint64(s.head)
+		if src == srcNone || sat < at || (sat == at && sseq < seq) {
+			src, at, seq, str = srcStream, sat, sseq, s
 		}
 	}
 	switch src {
@@ -390,6 +408,11 @@ func (k *Kernel) Step() bool {
 		fn(k.now)
 	case srcWheel:
 		at, fn := k.wheel.pop()
+		k.now = at
+		k.processed++
+		fn(k.now)
+	case srcStream:
+		fn := k.streamPop(str)
 		k.now = at
 		k.processed++
 		fn(k.now)
@@ -462,6 +485,11 @@ func (k *Kernel) peek() (Time, bool) {
 			if wat := w.buckets[t&w.mask][0].at; !ok || wat < at {
 				at, ok = wat, true
 			}
+		}
+	}
+	for _, s := range k.streams {
+		if sat := s.at[s.head]; !ok || sat < at {
+			at, ok = sat, true
 		}
 	}
 	return at, ok
