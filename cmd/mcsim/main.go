@@ -17,6 +17,10 @@
 //	      -connect http://h1:9137,http://h2:9137 -resume run.ckpt  # remote fleet
 //	mcsim -worker                              # serve cells on stdin/stdout
 //	mcsim -worker -listen :9137                # serve cells over HTTP (see mcsweepd)
+//	mcsim -scenario s.json -telemetry          # attach kernel dispatch counters
+//	mcsim -scenario b.json -sweep g.json -distributed \
+//	      -progress run.ndjson -progress-listen :9138   # typed progress events
+//	mcsim -watch http://host:9138              # live campaign view from elsewhere
 //
 // A scenario document is a JSON object whose "kind" field selects the
 // registered scenario ("datacenter", "faas", "gaming", "banking", "graph",
@@ -40,6 +44,16 @@
 // caps cells per work unit, and -resume names a checkpoint file so an
 // interrupted campaign restarts without recomputing finished cells.
 //
+// Observability rides every mode without touching result bytes: -progress
+// serializes typed obs.Event lines (NDJSON) to a file or stderr ("-"),
+// -progress-listen serves the same stream live at GET /progress (chunked
+// NDJSON, history replay for late subscribers), -watch renders any such
+// stream as a live progress view, and -telemetry attaches the kernel's
+// per-path dispatch counters to a plain run's result envelope as the
+// optional "telemetry" block. Same seed still means byte-identical output:
+// the telemetry block only appears when asked for, and progress events are
+// a parallel channel, never part of the report.
+//
 // -export-trace writes the workload the run executed (trace-capable kinds
 // only) through the trace format registry; the format resolves like
 // everywhere else — explicit -trace-format, else the file extension, else
@@ -62,9 +76,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcs/internal/dist"
 	"mcs/internal/experiments"
+	"mcs/internal/obs"
 	"mcs/internal/opendc"
 	"mcs/internal/scenario"
 	"mcs/internal/trace"
@@ -120,9 +136,16 @@ func run(args []string, stdin io.Reader, out, status io.Writer) error {
 		connect      = fs.String("connect", "", "with -distributed: comma-separated worker URLs (replaces subprocess workers)")
 		resume       = fs.String("resume", "", "with -distributed: checkpoint file; completed cells load from it and new ones append")
 		shard        = fs.Int("shard", 0, "with -distributed: max cells per work unit (0 = heuristic)")
+		progress     = fs.String("progress", "", "write NDJSON progress events to this file (\"-\" = stderr)")
+		progressAddr = fs.String("progress-listen", "", "serve the live progress stream on this address at GET /progress")
+		watch        = fs.String("watch", "", "render a live progress view from this URL and exit (no scenario runs)")
+		telemetry    = fs.Bool("telemetry", false, "attach kernel dispatch telemetry to the result (plain runs only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watch != "" {
+		return watchProgress(*watch, out)
 	}
 	if *worker {
 		if *listen != "" {
@@ -175,17 +198,28 @@ func run(args []string, stdin io.Reader, out, status io.Writer) error {
 			return err
 		}
 	}
+	prog, closeProgress, err := openProgress(*progress, *progressAddr, status)
+	if err != nil {
+		return err
+	}
+	defer closeProgress()
 	if *distributed {
 		if *exportTrace != "" {
 			// Workloads materialize inside the workers; there is no
 			// coordinator-side instance to export.
 			return fmt.Errorf("-export-trace is not supported with -distributed (export from a plain -scenario run instead)")
 		}
-		return runDistributed(raw, *workers, *connect, *resume, *shard, *exportCSV, out, status)
+		if *telemetry {
+			return fmt.Errorf("-telemetry instruments a single local kernel; it is not supported with -distributed")
+		}
+		return runDistributed(raw, *workers, *connect, *resume, *shard, *exportCSV, prog, out, status)
 	}
 	env, err := scenario.ParseEnvelope(raw)
 	if err != nil {
 		return err
+	}
+	if *telemetry && (env.Kind == "sweep" || *sweepPath != "") {
+		return fmt.Errorf("-telemetry instruments a single kernel; sweeps run one kernel per cell (use it on a plain -scenario run)")
 	}
 	s, err := scenario.New(env.Kind, raw)
 	if err != nil {
@@ -201,9 +235,31 @@ func run(args []string, stdin io.Reader, out, status io.Writer) error {
 			return fmt.Errorf("scenario %q does not expose a workload trace (trace-capable kinds only)", env.Kind)
 		}
 	}
-	res, err := scenario.RunScenario(s, env.Seed)
+	// Instrument the kernel when anything observes the run. The stats
+	// pointer stays nil otherwise, so an unobserved run pays nothing.
+	var st *obs.KernelStats
+	if *telemetry || prog != nil {
+		st = &obs.KernelStats{}
+		if prog != nil {
+			st.HeartbeatEvery = 500_000
+			st.OnHeartbeat = func(processed uint64, now time.Duration) {
+				prog.Emit(obs.Event{Type: obs.Heartbeat, Cell: -1, Events: processed, SimMS: now.Milliseconds()})
+			}
+		}
+	}
+	if prog != nil {
+		prog.Emit(obs.Event{Type: obs.RunStarted, Cell: -1, Msg: env.Kind})
+	}
+	res, err := scenario.RunScenarioObserved(s, env.Seed, st)
 	if err != nil {
 		return err
+	}
+	if prog != nil {
+		prog.Emit(obs.Event{Type: obs.RunFinished, Cell: -1, Events: res.Events})
+	}
+	if *telemetry {
+		snap := st.Snapshot()
+		res.Telemetry = &snap
 	}
 	fmt.Fprintf(status, "mcsim: %s seed=%d: %d events in %v\n",
 		res.Scenario, res.Seed, res.Events, res.WallClock.Round(res.WallClock/100+1))
@@ -304,7 +360,7 @@ func serveWorker(addr string, status io.Writer) error {
 // exactly like the in-process path — byte-identical, by the coordinator's
 // contract. Cells that failed permanently are recorded in the report and
 // summarized as an error after the report is written.
-func runDistributed(raw json.RawMessage, workers int, connect, resume string, shard int, exportCSV string, out, status io.Writer) error {
+func runDistributed(raw json.RawMessage, workers int, connect, resume string, shard int, exportCSV string, events obs.Sink, out, status io.Writer) error {
 	env, err := scenario.ParseEnvelope(raw)
 	if err != nil {
 		return err
@@ -348,6 +404,8 @@ func runDistributed(raw json.RawMessage, workers int, connect, resume string, sh
 	coord, err := dist.NewCoordinator(fleet, dist.Options{
 		ShardSize:  shard,
 		Checkpoint: resume,
+		Events:     events,
+		Heartbeat:  2 * time.Second,
 		Status:     status,
 	})
 	if err != nil {

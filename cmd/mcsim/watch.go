@@ -1,0 +1,226 @@
+package main
+
+// The CLI's observability surface: openProgress builds the event sinks the
+// -progress/-progress-listen flags request, and watchProgress is the
+// `mcsim -watch` client — a live, line-oriented rendering of any /progress
+// NDJSON stream (this binary's or a remote coordinator's).
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mcs/internal/obs"
+)
+
+// openProgress assembles the progress sink requested by the flags: an
+// NDJSON file (or stderr for "-"), a live HTTP /progress stream, both, or
+// nil when neither flag is set. The returned cleanup closes the stream
+// first — attached watchers drain the retained history and see a clean
+// EOF — and only then releases the listener and file.
+func openProgress(path, listenAddr string, status io.Writer) (obs.Sink, func(), error) {
+	var sinks []obs.Sink
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	if path != "" {
+		if path == "-" {
+			sinks = append(sinks, obs.NewNDJSON(status))
+		} else {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			sinks = append(sinks, obs.NewNDJSON(f))
+			closers = append(closers, func() { f.Close() })
+		}
+	}
+	if listenAddr != "" {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		stream := obs.NewStream()
+		mux := http.NewServeMux()
+		mux.Handle("/progress", stream)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		fmt.Fprintf(status, "mcsim: streaming progress on http://%s/progress\n", ln.Addr())
+		sinks = append(sinks, stream)
+		closers = append(closers, func() {
+			stream.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	return obs.Multi(sinks...), cleanup, nil
+}
+
+// watchProgress connects to a /progress stream and renders it until the
+// campaign (or run) finishes or the stream ends. The URL may omit the
+// scheme and the /progress path. Connecting retries for several seconds so
+// a watch started alongside the campaign wins the boot race.
+func watchProgress(target string, out io.Writer) error {
+	url := strings.TrimSuffix(target, "/")
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/progress") {
+		url += "/progress"
+	}
+	resp, err := dialProgress(url, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return renderProgress(resp.Body, out)
+}
+
+// dialProgress GETs the stream, retrying connection failures until the
+// deadline (the campaign process may still be binding its listener).
+func dialProgress(url string, patience time.Duration) (*http.Response, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				return nil, fmt.Errorf("watch %s: status %s", url, resp.Status)
+			}
+			return resp, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("watch %s: %w", url, err)
+		}
+		// Poll tightly: a short campaign's listener may live well under a
+		// second, and history replay means attaching at any point during
+		// its life still yields the full stream.
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// watchState accumulates what the renderer knows about the campaign.
+type watchState struct {
+	firstT   int64 // wall ms of the first event seen
+	done     int
+	total    int
+	events   uint64           // cumulative kernel events fired
+	lastSeen map[string]int64 // per-worker wall ms of the last event
+}
+
+// renderProgress turns the NDJSON event stream into progress lines: one
+// line per completed cell and heartbeat (cells done/total, events/sec,
+// ETA, the most-lagged worker), plus the notable one-liners for retries,
+// failures, and worker churn.
+func renderProgress(r io.Reader, out io.Writer) error {
+	st := &watchState{lastSeen: map[string]int64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // not an event line; skip rather than die mid-campaign
+		}
+		if st.firstT == 0 && ev.T != 0 {
+			st.firstT = ev.T
+		}
+		if ev.Worker != "" && ev.T != 0 {
+			st.lastSeen[ev.Worker] = ev.T
+		}
+		switch ev.Type {
+		case obs.CampaignStarted:
+			st.total = ev.Total
+			fmt.Fprintf(out, "watch: campaign started: %d cells across %d workers\n", ev.Total, ev.Workers)
+		case obs.CampaignResumed:
+			st.done = ev.Done
+			fmt.Fprintln(out, "watch:", ev.String())
+		case obs.CellFinished:
+			st.done, st.total = ev.Done, ev.Total
+			st.events += ev.Events
+			fmt.Fprintf(out, "watch: %s\n", st.progressLine(ev.T))
+		case obs.Heartbeat:
+			if ev.Total == 0 {
+				// A plain run's kernel heartbeat: no cells to count.
+				fmt.Fprintf(out, "watch: %d events, sim-clock %dms\n", ev.Events, ev.SimMS)
+				continue
+			}
+			st.done, st.total = ev.Done, ev.Total
+			if ev.Events > st.events {
+				st.events = ev.Events
+			}
+			fmt.Fprintf(out, "watch: %s%s\n", st.progressLine(ev.T), st.lagSuffix(ev.T))
+		case obs.CellRetried, obs.CellFailed, obs.CheckpointFailed, obs.WorkerJoined, obs.WorkerRetired:
+			fmt.Fprintln(out, "watch:", ev.String())
+		case obs.RunStarted:
+			fmt.Fprintf(out, "watch: run started (%s)\n", ev.Msg)
+		case obs.RunFinished:
+			fmt.Fprintf(out, "watch: run finished: %d events\n", ev.Events)
+			return sc.Err()
+		case obs.CampaignFinished:
+			fmt.Fprintf(out, "watch: campaign finished: %d/%d cells, %d failed, %d events\n",
+				ev.Done, ev.Total, ev.Attempt, ev.Events)
+			return sc.Err()
+		}
+	}
+	return sc.Err()
+}
+
+// progressLine renders "done/total cells (pct), events, rate, ETA" from the
+// event timestamps — no local clock, so replaying a recorded stream shows
+// the campaign's real pacing facts.
+func (st *watchState) progressLine(nowMS int64) string {
+	pct := 0.0
+	if st.total > 0 {
+		pct = 100 * float64(st.done) / float64(st.total)
+	}
+	line := fmt.Sprintf("%d/%d cells (%.0f%%), %d events", st.done, st.total, pct, st.events)
+	elapsed := float64(nowMS-st.firstT) / 1000
+	if elapsed > 0 && st.events > 0 {
+		line += fmt.Sprintf(", %.3g ev/s", float64(st.events)/elapsed)
+	}
+	if elapsed > 0 && st.done > 0 && st.done < st.total {
+		eta := time.Duration(elapsed / float64(st.done) * float64(st.total-st.done) * float64(time.Second))
+		line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	return line
+}
+
+// lagSuffix names the worker that has been silent the longest — the
+// straggler a heartbeat viewer wants to know about.
+func (st *watchState) lagSuffix(nowMS int64) string {
+	if len(st.lastSeen) == 0 {
+		return ""
+	}
+	workers := make([]string, 0, len(st.lastSeen))
+	for w := range st.lastSeen {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers) // deterministic pick among equally-lagged workers
+	slowest, lag := "", int64(-1)
+	for _, w := range workers {
+		if l := nowMS - st.lastSeen[w]; l > lag {
+			slowest, lag = w, l
+		}
+	}
+	if lag <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", slowest %s +%s", slowest, (time.Duration(lag) * time.Millisecond).Round(100*time.Millisecond))
+}

@@ -1,0 +1,257 @@
+package main
+
+// CLI observability flags: -telemetry, -progress, -progress-listen, -watch.
+// The load-bearing assertions are the determinism ones — observing a run
+// must not move a byte of its report — plus the NDJSON framing and the
+// watch renderer's progress math.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcs/internal/obs"
+)
+
+const bankingDoc = `{"kind": "banking", "seed": 11, "transactions": 120}`
+
+func writeDoc(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTelemetryFlagAttachesKernelCounters(t *testing.T) {
+	path := writeDoc(t, bankingDoc)
+	var plain, observed bytes.Buffer
+	if err := run([]string{"-scenario", path}, nil, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-telemetry"}, nil, &observed, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"telemetry"`) {
+		t.Error("unobserved run carries a telemetry block")
+	}
+	var res struct {
+		Events    uint64              `json:"events"`
+		Telemetry *obs.KernelSnapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal(observed.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("-telemetry produced no telemetry block")
+	}
+	if got := res.Telemetry.Dispatched(); got != res.Events {
+		t.Errorf("telemetry dispatched sum = %d, events = %d; every fired event must be attributed", got, res.Events)
+	}
+
+	// The rest of the envelope must be unchanged: stripping the telemetry
+	// block from the observed result yields the plain bytes.
+	var full map[string]json.RawMessage
+	if err := json.Unmarshal(observed.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	delete(full, "telemetry")
+	stripped, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainCompact bytes.Buffer
+	if err := json.Compact(&plainCompact, plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var observedKeys, plainKeys map[string]any
+	json.Unmarshal(stripped, &observedKeys)
+	json.Unmarshal(plainCompact.Bytes(), &plainKeys)
+	if fmt.Sprint(observedKeys) != fmt.Sprint(plainKeys) {
+		t.Errorf("telemetry changed the rest of the envelope:\n got %v\nwant %v", observedKeys, plainKeys)
+	}
+}
+
+func TestTelemetryRejectedOutsidePlainRuns(t *testing.T) {
+	path := writeDoc(t, bankingDoc)
+	grid := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(grid, []byte(`{"/transactions": [40, 80]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-sweep", grid, "-telemetry"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("-telemetry with -sweep accepted")
+	}
+	if err := run([]string{"-scenario", path, "-sweep", grid, "-distributed", "-workers", "1", "-telemetry"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("-telemetry with -distributed accepted")
+	}
+}
+
+func TestProgressFileWritesNDJSONEvents(t *testing.T) {
+	path := writeDoc(t, bankingDoc)
+	progPath := filepath.Join(t.TempDir(), "progress.ndjson")
+	var withProg, plain bytes.Buffer
+	if err := run([]string{"-scenario", path, "-progress", progPath}, nil, &withProg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}, nil, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if withProg.String() != plain.String() {
+		t.Error("-progress changed the result bytes")
+	}
+
+	data, err := os.ReadFile(progPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("progress file has %d lines, want at least run-started + run-finished:\n%s", len(lines), data)
+	}
+	var events []obs.Event
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not a JSON event: %v\n%s", i, err, line)
+		}
+		if ev.T == 0 {
+			t.Errorf("line %d has no timestamp: %s", i, line)
+		}
+		events = append(events, ev)
+	}
+	if events[0].Type != obs.RunStarted || events[0].Msg != "banking" {
+		t.Errorf("first event = %+v, want run-started for banking", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.RunFinished || last.Events == 0 {
+		t.Errorf("last event = %+v, want run-finished with an event count", last)
+	}
+}
+
+// TestProgressListenStreamsToWatch is the end-to-end flag pair: a stream
+// served by openProgress, consumed and rendered by the -watch client.
+func TestProgressListenStreamsToWatch(t *testing.T) {
+	var status lockedBuffer
+	sink, cleanup, err := openProgress("", "127.0.0.1:0", &status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	url := progressURL(t, &status)
+
+	var view bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- watchProgress(url, &view) }()
+
+	base := time.Now().UnixMilli()
+	sink.Emit(obs.Event{Type: obs.CampaignStarted, T: base, Cell: -1, Total: 2, Workers: 1})
+	sink.Emit(obs.Event{Type: obs.CellStarted, T: base + 100, Cell: 0, Key: "a", Worker: "w0"})
+	sink.Emit(obs.Event{Type: obs.CellFinished, T: base + 1000, Cell: 0, Key: "a", Worker: "w0", Done: 1, Total: 2, Events: 5000})
+	sink.Emit(obs.Event{Type: obs.Heartbeat, T: base + 1500, Cell: -1, Done: 1, Total: 2, Events: 5000, Workers: 1})
+	sink.Emit(obs.Event{Type: obs.CampaignFinished, T: base + 2000, Cell: -1, Done: 2, Total: 2, Events: 9000})
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch did not exit on campaign-finished")
+	}
+	out := view.String()
+	for _, want := range []string{
+		"campaign started: 2 cells across 1 workers",
+		"1/2 cells (50%), 5000 events",
+		"ev/s",
+		"ETA",
+		"slowest w0",
+		"campaign finished: 2/2 cells, 0 failed, 9000 events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// lockedBuffer is a status writer safe to read while run/serve goroutines
+// still write to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var progressURLRe = regexp.MustCompile(`streaming progress on (http://\S+)`)
+
+func progressURL(t *testing.T, status *lockedBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := progressURLRe.FindStringSubmatch(status.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("progress listener never announced its address:\n%s", status.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRenderProgressPlainRunStream(t *testing.T) {
+	var ndjson bytes.Buffer
+	w := bufio.NewWriter(&ndjson)
+	for _, ev := range []obs.Event{
+		{Type: obs.RunStarted, T: 1000, Cell: -1, Msg: "banking"},
+		{Type: obs.Heartbeat, T: 2000, Cell: -1, Events: 500000, SimMS: 1234},
+		{Type: obs.RunFinished, T: 3000, Cell: -1, Events: 750000},
+	} {
+		line, _ := json.Marshal(ev)
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	w.Flush()
+	var out bytes.Buffer
+	if err := renderProgress(&ndjson, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"run started (banking)",
+		"500000 events, sim-clock 1234ms",
+		"run finished: 750000 events",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDialProgressGivesUpAfterPatience(t *testing.T) {
+	start := time.Now()
+	if _, err := dialProgress("http://127.0.0.1:1/progress", 300*time.Millisecond); err == nil {
+		t.Fatal("dial to a dead port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial retried for %v, patience was 300ms", elapsed)
+	}
+}

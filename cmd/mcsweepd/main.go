@@ -10,7 +10,17 @@
 //
 //	POST /run      a WorkUnit of cells; the response streams one
 //	               CellResult per line as cells complete
-//	GET  /healthz  liveness plus the registered scenario kinds
+//	GET  /healthz  liveness: uptime, in-flight units, cell tallies, and
+//	               the registered scenario kinds
+//	GET  /metrics  Prometheus text exposition — cells run/failed, kernel
+//	               events fired, busy units, uptime, resident memory
+//
+// -debug-addr opts into a second, separate listener carrying the Go
+// diagnostic surface: net/http/pprof under /debug/pprof/ and the expvar
+// JSON dump (including every /metrics counter) at /debug/vars. It is a
+// different port on purpose — profilers and debug dumps stay off the
+// address the coordinator (and any scrape config) points at, so they can
+// be firewalled separately or left unbound in production.
 //
 // The daemon executes cells sequentially per request (the coordinator
 // keeps one unit in flight per worker); run one daemon per core — or
@@ -26,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 
 	"mcs/internal/dist"
@@ -53,6 +64,7 @@ func main() {
 func run(args []string, status io.Writer) error {
 	fs := flag.NewFlagSet("mcsweepd", flag.ContinueOnError)
 	listen := fs.String("listen", ":9137", "address to serve the worker protocol on")
+	debugAddr := fs.String("debug-addr", "", "optional address for the pprof/expvar debug surface (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,12 +72,28 @@ func run(args []string, status io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return serve(ln, status)
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		if debugLn, err = net.Listen("tcp", *debugAddr); err != nil {
+			return err
+		}
+	}
+	return serve(ln, debugLn, status)
 }
 
 // serve runs the worker protocol on an already-bound listener (split from
-// run so tests can bind port 0 and learn the address).
-func serve(ln net.Listener, status io.Writer) error {
+// run so tests can bind port 0 and learn the address). A non-nil debugLn
+// additionally serves the pprof/expvar surface on DefaultServeMux.
+func serve(ln, debugLn net.Listener, status io.Writer) error {
+	srv := dist.NewServer()
+	if debugLn != nil {
+		// Republish the daemon's metrics into the process-global expvar
+		// table so /debug/vars carries them alongside memstats; the blank
+		// net/http/pprof import already hung /debug/pprof on the mux.
+		srv.Registry().PublishExpvar()
+		fmt.Fprintf(status, "mcsweepd: debug surface (pprof, expvar) on http://%s/debug/pprof/\n", debugLn.Addr())
+		go http.Serve(debugLn, nil)
+	}
 	fmt.Fprintf(status, "mcsweepd: serving %d scenario kinds on %s\n", len(scenario.List()), ln.Addr())
-	return http.Serve(ln, dist.NewHandler())
+	return http.Serve(ln, srv.Handler())
 }

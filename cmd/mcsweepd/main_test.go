@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestDaemonServesWorkerProtocol(t *testing.T) {
 	}
 	defer ln.Close()
 	var status strings.Builder
-	go serve(ln, &status)
+	go serve(ln, nil, &status)
 
 	doc := `{
 	  "kind": "sweep", "seed": 3,
@@ -61,5 +62,58 @@ func TestDaemonServesWorkerProtocol(t *testing.T) {
 func TestRunRejectsBadAddress(t *testing.T) {
 	if err := run([]string{"-listen", "256.0.0.1:bad"}, io.Discard); err == nil {
 		t.Error("bad listen address accepted")
+	}
+}
+
+func TestRunRejectsBadDebugAddress(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0", "-debug-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("bad debug address accepted")
+	}
+}
+
+// TestDebugSurfaceServesPprofAndExpvar: -debug-addr exposes the Go
+// diagnostic mux — pprof index and the expvar dump carrying the daemon's
+// republished metrics — on its own listener, separate from the protocol.
+func TestDebugSurfaceServesPprofAndExpvar(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	debugLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debugLn.Close()
+	var status strings.Builder
+	go serve(ln, debugLn, &status)
+
+	for path, want := range map[string]string{
+		"/debug/pprof/": "profiles",
+		"/debug/vars":   "mcsweepd_cells_run_total",
+	} {
+		resp, err := http.Get("http://" + debugLn.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s missing %q:\n%.400s", path, want, body)
+		}
+	}
+
+	// The protocol listener must also answer /metrics now.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "# TYPE mcsweepd_uptime_seconds gauge") {
+		t.Errorf("/metrics scrape missing uptime gauge:\n%.400s", body)
 	}
 }

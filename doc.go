@@ -66,6 +66,16 @@
 // document against its kind's published schema and rejects misspelled
 // fields by name.
 //
+// The observability layer (internal/obs) watches all of it without
+// touching any of it: kernel dispatch telemetry behind a nil-by-default
+// stats pointer (`mcsim -telemetry` attaches the counters to the result
+// envelope's optional "telemetry" block), typed progress events from runs
+// and campaigns (NDJSON via `mcsim -progress`, live over HTTP via
+// `-progress-listen`, rendered by `mcsim -watch`), and a Prometheus-text
+// `/metrics` plus opt-in pprof surface on the worker daemon. The contract
+// is hard: observability reads, never writes — reports stay byte-identical
+// with every feature enabled, and the disabled path is benchguard-gated.
+//
 // Start with examples/quickstart, run any registered scenario with
 // cmd/mcsim (-list enumerates the kinds, -sweep runs grid campaigns,
 // -distributed shards them across worker processes and machines,

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"mcs/internal/obs"
 	"mcs/internal/scenario"
 )
 
@@ -58,7 +59,19 @@ type Options struct {
 	// Checkpoint, when non-empty, is the path of the campaign's resume
 	// file: completed cells load from it and new completions append to it.
 	Checkpoint string
+	// Events, when non-nil, receives the full typed progress stream of the
+	// campaign (obs.Event): cell/worker/checkpoint lifecycle plus periodic
+	// heartbeats. Sinks observe only — the campaign never blocks on them.
+	Events obs.Sink
+	// Heartbeat is the period of campaign heartbeat events (done/total,
+	// cumulative kernel events, live workers). Zero disables them.
+	Heartbeat time.Duration
 	// Status, when non-nil, receives human-readable progress lines.
+	//
+	// Deprecated: Status is the legacy free-form text hook, kept as a
+	// drop-in adapter — it now renders the Notable subset of the typed
+	// event stream through obs.TextSink, producing the same lines as
+	// before. New consumers should use Events.
 	Status io.Writer
 }
 
@@ -66,6 +79,14 @@ type Options struct {
 type Coordinator struct {
 	workers []Worker
 	opts    Options
+	sink    obs.Sink // combined Events + Status adapter; nil when disabled
+
+	// Campaign progress, owned by the scheduler goroutine during dispatch
+	// (read by Run before/after): cells resolved, cells overall, cumulative
+	// kernel events across finished cells.
+	done        int
+	total       int
+	eventsFired uint64
 }
 
 // NewCoordinator wires a coordinator to its fleet. A coordinator is
@@ -81,7 +102,20 @@ func NewCoordinator(workers []Worker, opts Options) (*Coordinator, error) {
 	} else if opts.Retries < 0 {
 		opts.Retries = 0
 	}
-	return &Coordinator{workers: workers, opts: opts}, nil
+	var status obs.Sink
+	if opts.Status != nil {
+		status = &obs.TextSink{W: opts.Status}
+	}
+	return &Coordinator{workers: workers, opts: opts, sink: obs.Multi(opts.Events, status)}, nil
+}
+
+// emit hands one progress event to the combined sink, if any. Events are
+// observational only: no campaign decision ever depends on whether or when
+// a sink consumed one.
+func (c *Coordinator) emit(ev obs.Event) {
+	if c.sink != nil {
+		c.sink.Emit(ev)
+	}
 }
 
 // Run executes the sweep document raw — a full "sweep" scenario document,
@@ -105,6 +139,8 @@ func (c *Coordinator) Run(ctx context.Context, raw json.RawMessage) (*scenario.R
 		return nil, nil, err
 	}
 	specs := Specs(cells)
+	c.total = len(specs)
+	c.emit(obs.Event{Type: obs.CampaignStarted, Cell: -1, Total: c.total, Workers: len(c.workers), Msg: baseKind})
 
 	// Resume: completed cells come straight off the checkpoint.
 	results := make([]*scenario.Result, len(specs))
@@ -118,9 +154,11 @@ func (c *Coordinator) Run(ctx context.Context, raw json.RawMessage) (*scenario.R
 		defer ckpt.Close()
 		for idx, res := range completed {
 			results[idx] = res
+			c.done++
+			c.eventsFired += res.Events
 		}
 		if len(completed) > 0 {
-			c.statusf("dist: resumed %d/%d cells from %s", len(completed), len(specs), c.opts.Checkpoint)
+			c.emit(obs.Event{Type: obs.CampaignResumed, Cell: -1, Done: len(completed), Total: c.total, Msg: c.opts.Checkpoint})
 		}
 	}
 	var remaining []CellSpec
@@ -157,6 +195,7 @@ func (c *Coordinator) Run(ctx context.Context, raw json.RawMessage) (*scenario.R
 		flat = append(flat, f)
 	}
 	sort.Slice(flat, func(i, j int) bool { return flat[i].Index < flat[j].Index })
+	c.emit(obs.Event{Type: obs.CampaignFinished, Cell: -1, Done: c.done, Total: c.total, Attempt: len(flat), Events: c.eventsFired})
 	return combined, flat, nil
 }
 
@@ -217,6 +256,7 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 	reqCh := make(chan workerReq)
 	evCh := make(chan any)
 	for i, w := range c.workers {
+		c.emit(obs.Event{Type: obs.WorkerJoined, Cell: -1, Worker: w.Name()})
 		go workerLoop(runCtx, i, w, reqCh, evCh)
 	}
 
@@ -228,7 +268,17 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 	var parked []workerReq
 	todo := len(remaining)
 	liveWorkers := len(c.workers)
+	retired := make(map[int]bool) // workers already announced as retired
 	var checkpointErr error
+
+	// Heartbeats are purely observational; a nil channel (disabled) never
+	// fires in the select.
+	var heartbeat <-chan time.Time
+	if c.opts.Heartbeat > 0 && c.sink != nil {
+		ticker := time.NewTicker(c.opts.Heartbeat)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
 
 	settle := func(spec CellSpec, errType, msg string) {
 		// One more observed failure for the cell; requeue within budget,
@@ -246,12 +296,13 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 			nextUnitID++
 			queue = append(queue, unit)
 			retryQueued[idx] = true
-			c.statusf("dist: cell %d (%s) failed (%s), retry %d/%d", idx, spec.Key, errType, attempts[idx], c.opts.Retries)
+			c.emit(obs.Event{Type: obs.CellRetried, Cell: idx, Key: spec.Key, Err: errType, Attempt: attempts[idx], Budget: c.opts.Retries})
 			return
 		}
 		failures[idx] = Failure{Index: idx, Key: spec.Key, Type: errType, Msg: msg, Attempts: attempts[idx]}
-		c.statusf("dist: cell %d (%s) failed permanently after %d attempts: %s", idx, spec.Key, attempts[idx], msg)
+		c.emit(obs.Event{Type: obs.CellFailed, Cell: idx, Key: spec.Key, Err: msg, Attempt: attempts[idx]})
 		todo--
+		c.done++
 	}
 	nextUnit := func() *WorkUnit {
 		for len(queue) > 0 {
@@ -305,7 +356,19 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 		sort.Slice(clone.Cells, func(i, j int) bool { return clone.Cells[i].Index < clone.Cells[j].Index })
 		best.dispatch++
 		best.clones++
+		for _, spec := range clone.Cells {
+			c.emit(obs.Event{Type: obs.CellSpeculated, Cell: spec.Index, Key: spec.Key})
+		}
 		return &clone
+	}
+	// handOff replies to a parked or asking worker with a unit, announcing
+	// each cell of the dispatch (retries and speculative clones start a cell
+	// again, by design — consumers see every attempt).
+	handOff := func(req workerReq, unit *WorkUnit) {
+		for _, spec := range unit.Cells {
+			c.emit(obs.Event{Type: obs.CellStarted, Cell: spec.Index, Key: spec.Key, Worker: c.workers[req.worker].Name()})
+		}
+		req.reply <- unit
 	}
 
 	finishing := false
@@ -333,7 +396,7 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 				continue
 			}
 			if unit := nextUnit(); unit != nil {
-				req.reply <- unit
+				handOff(req, unit)
 			} else {
 				parked = append(parked, req)
 			}
@@ -368,14 +431,23 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 					delete(failures, idx)
 				} else {
 					todo--
+					c.done++
 				}
+				c.eventsFired += ev.res.Result.Events
+				c.emit(obs.Event{
+					Type: obs.CellFinished, Cell: idx, Key: ev.res.Key,
+					Worker: c.workers[ev.worker].Name(),
+					Done:   c.done, Total: c.total, Events: ev.res.Result.Events,
+				})
 				if ckpt != nil && checkpointErr == nil {
 					if err := ckpt.Append(idx, ev.res.Key, ev.res.Result); err != nil {
 						// A broken checkpoint cannot record further
 						// progress — abort rather than burn hours of
 						// computation that an interruption would lose.
 						checkpointErr = err
-						c.statusf("dist: checkpoint write failed, aborting campaign: %v", err)
+						c.emit(obs.Event{Type: obs.CheckpointFailed, Cell: idx, Key: ev.res.Key, Err: err.Error()})
+					} else {
+						c.emit(obs.Event{Type: obs.CheckpointWritten, Cell: idx, Key: ev.res.Key})
 					}
 				}
 			case unitDone:
@@ -384,8 +456,9 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 					continue
 				}
 				fl.dispatch--
-				if ev.err != nil {
-					c.statusf("dist: worker %s lost mid-unit: %v", c.workers[ev.worker].Name(), ev.err)
+				if ev.err != nil && !retired[ev.worker] {
+					retired[ev.worker] = true
+					c.emit(obs.Event{Type: obs.WorkerRetired, Cell: -1, Worker: c.workers[ev.worker].Name(), Err: ev.err.Error()})
 				}
 				if fl.dispatch == 0 && len(fl.remaining) > 0 {
 					// No live dispatch covers these cells anymore.
@@ -414,11 +487,17 @@ func (c *Coordinator) dispatch(ctx context.Context, remaining []CellSpec, result
 					}
 					req := parked[0]
 					parked = parked[1:]
-					req.reply <- unit
+					handOff(req, unit)
 				}
 			case workerExit:
 				liveWorkers--
+				if !retired[ev.worker] {
+					retired[ev.worker] = true
+					c.emit(obs.Event{Type: obs.WorkerRetired, Cell: -1, Worker: c.workers[ev.worker].Name()})
+				}
 			}
+		case <-heartbeat:
+			c.emit(obs.Event{Type: obs.Heartbeat, Cell: -1, Done: c.done, Total: c.total, Events: c.eventsFired, Workers: liveWorkers})
 		case <-ctx.Done():
 			// Interrupted from outside: the checkpoint holds everything
 			// completed so far; a rerun with the same document resumes.
@@ -478,11 +557,5 @@ func workerLoop(ctx context.Context, id int, w Worker, reqCh chan<- workerReq, e
 		if err != nil {
 			return
 		}
-	}
-}
-
-func (c *Coordinator) statusf(format string, args ...any) {
-	if c.opts.Status != nil {
-		fmt.Fprintf(c.opts.Status, format+"\n", args...)
 	}
 }

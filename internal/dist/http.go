@@ -12,28 +12,71 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"mcs/internal/obs"
 	"mcs/internal/scenario"
 )
 
-// NewHandler returns the worker daemon's HTTP handler:
+// Server is the instrumented worker-daemon side of the HTTP transport:
 //
 //	POST /run      WorkUnit in, one CellResult per NDJSON line out
-//	GET  /healthz  {"ok":true,"kinds":[...]} — liveness plus the registry
+//	GET  /healthz  liveness + uptime, in-flight units, cell tallies, kinds
+//	GET  /metrics  Prometheus text exposition of the daemon's counters
 //
 // The handler executes cells sequentially per request; run one daemon per
-// core (or front several behind one address) to scale a host.
-func NewHandler() http.Handler {
+// core (or front several behind one address) to scale a host. All
+// instrumentation is scrape-side only — cell execution and result bytes
+// are untouched by it.
+type Server struct {
+	reg   *obs.Registry
+	start time.Time
+
+	busy        *expvar.Int // work units currently executing
+	cellsRun    *expvar.Int
+	cellsFailed *expvar.Int
+	eventsFired *expvar.Int
+}
+
+// NewServer returns a Server with a fresh metrics registry.
+func NewServer() *Server {
+	s := &Server{reg: obs.NewRegistry(), start: time.Now()}
+	s.reg.GaugeFunc("mcsweepd_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.busy = s.reg.Gauge("mcsweepd_busy_workers", "Work units currently executing.")
+	s.cellsRun = s.reg.Counter("mcsweepd_cells_run_total", "Cells executed, including failed ones.")
+	s.cellsFailed = s.reg.Counter("mcsweepd_cells_failed_total", "Cells whose scenario run errored.")
+	s.eventsFired = s.reg.Counter("mcsweepd_events_fired_total", "Kernel events fired across completed cells.")
+	s.reg.GaugeFunc("mcsweepd_process_resident_bytes", "Resident set size of the daemon process.",
+		obs.ProcessRSSBytes)
+	return s
+}
+
+// Registry exposes the daemon's metric registry, e.g. so cmd/mcsweepd can
+// republish it on the expvar debug surface behind -debug-addr.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", handleRun)
-	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
 	return mux
 }
 
-func handleRun(w http.ResponseWriter, r *http.Request) {
+// NewHandler returns the worker daemon's HTTP handler with a private
+// metrics registry — the pre-Server API, kept for callers that only need
+// the transport endpoints.
+func NewHandler() http.Handler {
+	return NewServer().Handler()
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -43,6 +86,8 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad work unit: %v", err), http.StatusBadRequest)
 		return
 	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
@@ -50,7 +95,14 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return // coordinator hung up; stop burning cycles
 		}
-		if err := enc.Encode(RunCell(spec)); err != nil {
+		res := RunCell(spec)
+		s.cellsRun.Add(1)
+		if res.Err != "" {
+			s.cellsFailed.Add(1)
+		} else if res.Result != nil {
+			s.eventsFired.Add(int64(res.Result.Events))
+		}
+		if err := enc.Encode(res); err != nil {
 			return
 		}
 		if fl != nil {
@@ -59,9 +111,16 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"ok": true, "kinds": scenario.List()})
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":             true,
+		"kinds":          scenario.List(),
+		"uptimeSeconds":  int64(time.Since(s.start).Seconds()),
+		"inFlight":       s.busy.Value(),
+		"cellsCompleted": s.cellsRun.Value() - s.cellsFailed.Value(),
+		"cellsFailed":    s.cellsFailed.Value(),
+	})
 }
 
 // HTTP is a coordinator-side worker backed by a remote daemon.

@@ -1,0 +1,77 @@
+package obs
+
+// Kernel-level telemetry. A *KernelStats is handed to a kernel at
+// construction (sim.WithKernelStats); the kernel increments the counters
+// as it dispatches. The pointer is nil by default, so an unobserved kernel
+// pays exactly one predicted nil-check branch per step — the "zero cost
+// when disabled" half of the observability contract, gated by benchguard.
+//
+// The counters are plain (non-atomic) uint64s because the kernel is
+// strictly single-threaded; read them from the kernel's goroutine only
+// (Snapshot after Run, or inside the OnHeartbeat callback).
+
+import "time"
+
+// KernelStats accumulates one kernel's dispatch telemetry. The exported
+// counter fields are written by internal/sim; the heartbeat fields are
+// configuration read by the kernel.
+type KernelStats struct {
+	// Per-path dispatch counts: which queue the kernel's four-way merge
+	// drew each fired event from.
+	HeapDispatched      uint64
+	WheelDispatched     uint64
+	ImmediateDispatched uint64
+	StreamDispatched    uint64
+	// Canceled counts Cancel calls that actually canceled a live event.
+	Canceled uint64
+	// WheelRotations counts bucket primes — how many times the timing
+	// wheel sorted a bucket and rotated it to the front of the merge.
+	WheelRotations uint64
+	// HorizonOverflow counts fire-and-forget events that missed the wheel
+	// because they lay past its horizon and fell through to the heap (the
+	// hierarchy's overflow level). A high ratio of overflows to wheel
+	// dispatches says the wheel span is mis-tuned for the model.
+	HorizonOverflow uint64
+
+	// HeartbeatEvery, when positive, makes the kernel invoke OnHeartbeat
+	// after every HeartbeatEvery-th processed event. The callback runs on
+	// the kernel goroutine and MUST only read — scheduling, canceling, or
+	// drawing from the kernel RNG inside it breaks the determinism
+	// contract.
+	HeartbeatEvery uint64
+	// OnHeartbeat receives the kernel's processed-event count and current
+	// sim-clock.
+	OnHeartbeat func(processed uint64, now time.Duration)
+}
+
+// KernelSnapshot is the JSON form of the counters — the Result envelope's
+// optional `telemetry` block. It is a value copy, safe to marshal after
+// the run while the kernel is idle.
+type KernelSnapshot struct {
+	HeapDispatched      uint64 `json:"heapDispatched"`
+	WheelDispatched     uint64 `json:"wheelDispatched"`
+	ImmediateDispatched uint64 `json:"immediateDispatched"`
+	StreamDispatched    uint64 `json:"streamDispatched"`
+	Canceled            uint64 `json:"canceled"`
+	WheelRotations      uint64 `json:"wheelRotations"`
+	HorizonOverflow     uint64 `json:"horizonOverflow"`
+}
+
+// Snapshot copies the counters out. Call it after the run (or from the
+// heartbeat callback) on the kernel's goroutine.
+func (s *KernelStats) Snapshot() KernelSnapshot {
+	return KernelSnapshot{
+		HeapDispatched:      s.HeapDispatched,
+		WheelDispatched:     s.WheelDispatched,
+		ImmediateDispatched: s.ImmediateDispatched,
+		StreamDispatched:    s.StreamDispatched,
+		Canceled:            s.Canceled,
+		WheelRotations:      s.WheelRotations,
+		HorizonOverflow:     s.HorizonOverflow,
+	}
+}
+
+// Dispatched returns the total events dispatched across all four paths.
+func (s KernelSnapshot) Dispatched() uint64 {
+	return s.HeapDispatched + s.WheelDispatched + s.ImmediateDispatched + s.StreamDispatched
+}

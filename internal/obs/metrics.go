@@ -1,0 +1,155 @@
+package obs
+
+// A minimal expvar-backed metrics registry rendered as Prometheus text.
+// The fleet daemon (cmd/mcsweepd) registers its counters here and serves
+// them on /metrics; the same vars can be published into the process-global
+// expvar table so they also appear on /debug/vars when the opt-in debug
+// listener is up. No third-party client library — the exposition format
+// for untyped/counter/gauge lines is trivial and the toolchain ships
+// expvar's atomics.
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metric is one registered var: Prometheus TYPE, HELP, and the expvar.Var
+// whose String() is its JSON (and, for Int/Float, Prometheus-compatible)
+// value rendering.
+type metric struct {
+	name, help, typ string
+	v               expvar.Var
+}
+
+// Registry holds an ordered set of named metrics. Unlike the process-global
+// expvar table it is instantiable, so tests (and multiple servers in one
+// process) do not collide.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]bool)} }
+
+func (r *Registry) add(name, help, typ string, v expvar.Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = true
+	r.metrics = append(r.metrics, metric{name: name, help: help, typ: typ, v: v})
+}
+
+// Counter registers a monotonically increasing metric and returns its
+// expvar-backed atomic.
+func (r *Registry) Counter(name, help string) *expvar.Int {
+	v := new(expvar.Int)
+	r.add(name, help, "counter", v)
+	return v
+}
+
+// Gauge registers a settable up/down metric and returns its expvar-backed
+// atomic.
+func (r *Registry) Gauge(name, help string) *expvar.Int {
+	v := new(expvar.Int)
+	r.add(name, help, "gauge", v)
+	return v
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(name, help, "gauge", expvar.Func(func() any { return fn() }))
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := r.metrics[:len(r.metrics):len(r.metrics)]
+	r.mu.Unlock()
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		fmt.Fprintf(w, "%s %s\n", m.name, promValue(m.v))
+	}
+}
+
+// promValue renders an expvar value as a Prometheus sample value.
+// expvar.Int and expvar.Float already print bare numbers; Func values are
+// re-formatted from their JSON rendering so floats come out plain.
+func promValue(v expvar.Var) string {
+	s := v.String()
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return s
+}
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(b.String()))
+	})
+}
+
+// PublishExpvar mirrors every registered metric into the process-global
+// expvar table (visible on /debug/vars when a debug listener serves the
+// default mux). Names already taken — e.g. by a previous registry in the
+// same process — are skipped rather than panicking, because expvar's table
+// cannot be unpublished.
+func (r *Registry) PublishExpvar() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		if expvar.Get(m.name) == nil {
+			expvar.Publish(m.name, m.v)
+		}
+	}
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProcessRSSBytes reports the process's resident set size: the Linux
+// /proc value when available, else the Go runtime's OS-obtained memory as
+// a portable approximation.
+func ProcessRSSBytes() float64 {
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return pages * float64(os.Getpagesize())
+			}
+		}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.Sys)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWritesPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	cells := r.Counter("test_cells_run_total", "Cells executed.")
+	busy := r.Gauge("test_busy_workers", "In-flight units.")
+	r.GaugeFunc("test_answer", "The answer.", func() float64 { return 42.5 })
+	cells.Add(3)
+	busy.Set(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := strings.Join([]string{
+		"# HELP test_cells_run_total Cells executed.",
+		"# TYPE test_cells_run_total counter",
+		"test_cells_run_total 3",
+		"# HELP test_busy_workers In-flight units.",
+		"# TYPE test_busy_workers gauge",
+		"test_busy_workers 1",
+		"# HELP test_answer The answer.",
+		"# TYPE test_answer gauge",
+		"test_answer 42.5",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("scrape format:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryHandlerServesScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_handler_total", "h").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "test_handler_total 7") {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup", "y")
+}
+
+func TestPublishExpvarIsRepublishSafe(t *testing.T) {
+	// Two registries publishing the same name (e.g. a test booting two
+	// servers in one process) must not panic; first publish wins.
+	a := NewRegistry()
+	a.Counter("test_publish_total", "a").Add(1)
+	a.PublishExpvar()
+	b := NewRegistry()
+	b.Counter("test_publish_total", "b").Add(99)
+	b.PublishExpvar() // must not panic
+	if got := expvar.Get("test_publish_total").String(); got != "1" {
+		t.Errorf("expvar value = %s, want the first registry's 1", got)
+	}
+	if names := a.Names(); len(names) != 1 || names[0] != "test_publish_total" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestProcessRSSBytesIsPositive(t *testing.T) {
+	if rss := ProcessRSSBytes(); rss <= 0 {
+		t.Errorf("RSS = %v, want > 0", rss)
+	}
+}

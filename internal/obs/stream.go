@@ -1,0 +1,179 @@
+package obs
+
+// The live progress stream: a Sink that retains every event and fans new
+// ones out to HTTP subscribers as chunked NDJSON. This is the coordinator's
+// GET /progress surface (`mcsim -progress-listen`), consumed by
+// `mcsim -watch` and anything else that can read NDJSON over HTTP.
+//
+// Design points:
+//   - History replay: a subscriber arriving mid-campaign (or even after
+//     Close) first receives every prior line, so its view is complete, then
+//     tails live events. Registration and the history snapshot happen under
+//     one lock, so no line is ever missed or duplicated.
+//   - Per-cell flush: every line is flushed to the client as it is written,
+//     so a watcher sees a cell completion the moment the coordinator does.
+//   - Slow subscribers are shed, never waited for: Emit does a non-blocking
+//     send into each subscriber's buffered channel and drops subscribers
+//     whose buffers overflow. A stalled watcher can therefore never stall
+//     the campaign — observability reads, it does not back-pressure.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// subBuffer is each subscriber's line buffer; overflowing it sheds the
+// subscriber. At typical event sizes this absorbs multi-second client
+// stalls on even very chatty campaigns.
+const subBuffer = 1024
+
+// Stream is a Sink that serves its event history and live tail over HTTP.
+// The zero value is not usable; construct with NewStream.
+type Stream struct {
+	mu     sync.Mutex
+	lines  [][]byte // every emitted NDJSON line, in order
+	subs   map[int]chan []byte
+	nextID int
+	closed bool
+}
+
+// NewStream returns an empty stream.
+func NewStream() *Stream {
+	return &Stream{subs: make(map[int]chan []byte)}
+}
+
+// Emit implements Sink: serialize, retain, and fan out without blocking.
+func (s *Stream) Emit(ev Event) {
+	stamp(&ev)
+	line := marshalLine(ev)
+	if line == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.lines = append(s.lines, line)
+	for id, ch := range s.subs {
+		select {
+		case ch <- line:
+		default:
+			// Subscriber too slow: shed it. Closing the channel ends its
+			// ServeHTTP loop; it received a consistent prefix of the stream.
+			close(ch)
+			delete(s.subs, id)
+		}
+	}
+}
+
+// Close ends the stream: subscribers' tails terminate cleanly (EOF on the
+// client side) and further emits are dropped. New subscribers still get
+// the full history followed by an immediate EOF, so a late `mcsim -watch`
+// sees the whole campaign. Safe to call more than once.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, ch := range s.subs {
+		close(ch)
+		delete(s.subs, id)
+	}
+}
+
+// Len returns the number of events retained so far.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lines)
+}
+
+// subscribe atomically snapshots the history and registers a live channel
+// (nil when the stream is already closed — history only).
+func (s *Stream) subscribe() (history [][]byte, ch chan []byte, id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	history = s.lines[:len(s.lines):len(s.lines)]
+	if s.closed {
+		return history, nil, 0
+	}
+	ch = make(chan []byte, subBuffer)
+	s.nextID++
+	s.subs[s.nextID] = ch
+	return history, ch, s.nextID
+}
+
+func (s *Stream) unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.subs[id]; ok {
+		close(ch)
+		delete(s.subs, id)
+	}
+}
+
+// ServeHTTP implements the GET /progress endpoint: chunked NDJSON, one
+// event per line, full history first, flushed per line, until the stream
+// closes or the client disconnects.
+func (s *Stream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	// Send headers before the first event: a client attaching to a quiet
+	// stream must see the response immediately, not block until something
+	// is emitted (its Get would otherwise deadlock against an emitter
+	// waiting for the client to be attached).
+	w.WriteHeader(http.StatusOK)
+	flush()
+	history, ch, id := s.subscribe()
+	for _, line := range history {
+		if _, err := w.Write(line); err != nil {
+			if ch != nil {
+				s.unsubscribe(id)
+			}
+			return
+		}
+		flush()
+	}
+	if ch == nil {
+		return // stream already closed: history was the whole campaign
+	}
+	defer s.unsubscribe(id)
+	done := r.Context().Done()
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				return // stream closed (or this subscriber was shed)
+			}
+			if _, err := w.Write(line); err != nil {
+				return // client went away mid-line
+			}
+			flush()
+		case <-done:
+			return // client disconnected; free the subscription
+		}
+	}
+}
+
+// marshalLine serializes an event to one newline-terminated JSON line.
+func marshalLine(ev Event) []byte {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return nil
+	}
+	return append(line, '\n')
+}

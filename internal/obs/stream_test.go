@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamNDJSONFramingUnderConcurrentEmit hammers the stream from many
+// goroutines emitting cell completions out of grid order — the shape a
+// real campaign produces — and checks every line is a whole, valid JSON
+// event and every cell appears exactly once.
+func TestStreamNDJSONFramingUnderConcurrentEmit(t *testing.T) {
+	s := NewStream()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const cells = 200
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each "worker" finishes its cells in reverse order: the stream
+			// must frame them correctly regardless.
+			for i := cells/8 - 1; i >= 0; i-- {
+				s.Emit(Event{Type: CellFinished, Cell: w*cells/8 + i, Key: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+
+	seen := make(map[int]int)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("torn or invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		seen[ev.Cell]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != cells {
+		t.Fatalf("saw %d distinct cells, want %d", len(seen), cells)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d appeared %d times", cell, n)
+		}
+	}
+}
+
+// TestStreamReplaysHistoryToLateSubscriber: a subscriber arriving after
+// events were emitted — even after Close — still receives the full
+// campaign history, then EOF.
+func TestStreamReplaysHistoryToLateSubscriber(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Type: CellFinished, Cell: i, Done: i + 1, Total: 5})
+	}
+	s.Close()
+	s.Emit(Event{Type: Heartbeat, Cell: -1}) // post-close emits are dropped
+
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(body), "\n")
+	if lines != 5 {
+		t.Errorf("late subscriber got %d lines, want 5:\n%s", lines, body)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+// TestStreamClientDisconnectMidStream: a client hanging up mid-campaign
+// must unsubscribe (no goroutine or channel leak) and must not block or
+// break subsequent emits.
+func TestStreamClientDisconnectMidStream(t *testing.T) {
+	s := NewStream()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	s.Emit(Event{Type: CampaignStarted, Cell: -1, Total: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // client disconnects mid-stream
+	resp.Body.Close()
+
+	// The subscription must drain away; emits keep flowing to the stream.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription leaked after client disconnect (%d live)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		s.Emit(Event{Type: CellFinished, Cell: i})
+	}
+	if s.Len() != 101 {
+		t.Errorf("Len = %d after disconnect, want 101", s.Len())
+	}
+}
+
+// TestStreamShedsSlowSubscriber: a subscriber that stops reading is
+// dropped once its buffer fills; Emit never blocks.
+func TestStreamShedsSlowSubscriber(t *testing.T) {
+	s := NewStream()
+	_, ch, id := s.subscribe()
+	if ch == nil || id == 0 {
+		t.Fatal("subscribe failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Overflow the buffer without anyone reading ch.
+		for i := 0; i < subBuffer+10; i++ {
+			s.Emit(Event{Type: CellFinished, Cell: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+	s.mu.Lock()
+	live := len(s.subs)
+	s.mu.Unlock()
+	if live != 0 {
+		t.Errorf("slow subscriber not shed (%d live)", live)
+	}
+	// The shed channel is closed: draining it ends with ok == false.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != subBuffer {
+		t.Errorf("shed subscriber drained %d lines, want the full buffer %d", n, subBuffer)
+	}
+}
+
+func TestStreamRejectsNonGET(t *testing.T) {
+	s := NewStream()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}

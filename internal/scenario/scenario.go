@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"mcs/internal/obs"
 	"mcs/internal/sim"
 	"mcs/internal/workload"
 )
@@ -80,6 +81,13 @@ type Result struct {
 	// Cells holds the per-cell result envelopes of a meta-scenario (the
 	// "sweep" kind) in deterministic grid order; nil for ordinary runs.
 	Cells []*Result `json:"cells,omitempty"`
+	// Telemetry is the optional kernel-counter block (per-path dispatch
+	// counts, cancels, wheel rotations, horizon overflows). It is attached
+	// only on request — `mcsim -telemetry` — and omitted otherwise, so
+	// existing result bytes are untouched by default. The counters are
+	// derived from the same deterministic event stream as the run, so the
+	// block itself is seed-stable.
+	Telemetry *obs.KernelSnapshot `json:"telemetry,omitempty"`
 	// WallClock is the real time the run took. Excluded from JSON so that
 	// same-seed results stay byte-identical (paper C15–C16).
 	WallClock time.Duration `json:"-"`
@@ -171,8 +179,23 @@ func New(kind string, raw json.RawMessage) (Scenario, error) {
 // RunScenario executes an already-configured scenario on a fresh kernel
 // seeded with seed and stamps the result envelope.
 func RunScenario(s Scenario, seed int64) (*Result, error) {
+	return RunScenarioObserved(s, seed, nil)
+}
+
+// RunScenarioObserved is RunScenario on an instrumented kernel: st (when
+// non-nil) accumulates the kernel's dispatch telemetry and drives its
+// heartbeat hook while the run executes. The result bytes are identical to
+// an unobserved run — telemetry reads, never writes — and the snapshot is
+// NOT attached to the envelope here; callers that want the `telemetry`
+// block set res.Telemetry from st.Snapshot() themselves.
+func RunScenarioObserved(s Scenario, seed int64, st *obs.KernelStats) (*Result, error) {
 	kind := s.Name()
-	k := sim.New(seed)
+	var k *sim.Kernel
+	if st != nil {
+		k = sim.New(seed, sim.WithKernelStats(st))
+	} else {
+		k = sim.New(seed)
+	}
 	start := time.Now()
 	res, err := s.Run(k)
 	if err != nil {

@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"mcs/internal/obs"
 )
 
 // Time is a point in virtual time, measured as an offset from the start of
@@ -114,6 +116,12 @@ type Kernel struct {
 	// canceledQueued counts canceled handle events still occupying heap
 	// slots, so Pending can report live events without compacting.
 	canceledQueued int
+	// stats, when non-nil, accumulates per-path dispatch telemetry
+	// (internal/obs). Nil by default: the unobserved hot path pays one
+	// predicted branch per step and nothing else. Telemetry is read-only
+	// by contract — it can never alter event ordering, the RNG stream, or
+	// any result byte.
+	stats *obs.KernelStats
 }
 
 // Option configures a Kernel at construction time.
@@ -127,6 +135,16 @@ type Option func(*Kernel)
 // sub-millisecond models or widen the span for coarser ones.
 func WithTimingWheel(tick, span Time) Option {
 	return func(k *Kernel) { k.wheel = newTimingWheel(tick, span) }
+}
+
+// WithKernelStats attaches a telemetry accumulator: the kernel counts
+// per-path dispatches, cancels, wheel rotations, and horizon overflows
+// into st as it runs, and fires st.OnHeartbeat every st.HeartbeatEvery
+// processed events. Observability is strictly read-only: an observed
+// kernel fires the same events in the same order with the same RNG stream
+// as an unobserved one (TestKernelStatsDoNotPerturbExecution).
+func WithKernelStats(st *obs.KernelStats) Option {
+	return func(k *Kernel) { k.stats = st }
 }
 
 // WithoutTimingWheel disables the timing wheel: every positive-delay event
@@ -325,6 +343,9 @@ func (k *Kernel) Cancel(ev *Event) {
 	ev.canceled = true
 	ev.fn = nil // release references early
 	k.canceledQueued++
+	if k.stats != nil {
+		k.stats.Canceled++
+	}
 }
 
 // Sources the four-way merge in Step can draw the next event from.
@@ -372,6 +393,9 @@ func (k *Kernel) Step() bool {
 			// the best candidate so far fires before the bucket's start,
 			// the wheel is out of the race this step.
 			w.prime(t)
+			if k.stats != nil {
+				k.stats.WheelRotations++
+			}
 			wev = &w.buckets[t&w.mask][0]
 		}
 		if wev != nil && (src == srcNone || wev.at < at || (wev.at == at && wev.seq < seq)) {
@@ -419,7 +443,29 @@ func (k *Kernel) Step() bool {
 	default:
 		return false
 	}
+	if st := k.stats; st != nil {
+		k.noteDispatch(st, src)
+	}
 	return true
+}
+
+// noteDispatch records one fired event's source path and drives the
+// heartbeat hook. Kept out of Step's switch so the disabled path is a
+// single nil check.
+func (k *Kernel) noteDispatch(st *obs.KernelStats, src int) {
+	switch src {
+	case srcImm:
+		st.ImmediateDispatched++
+	case srcHeap:
+		st.HeapDispatched++
+	case srcWheel:
+		st.WheelDispatched++
+	case srcStream:
+		st.StreamDispatched++
+	}
+	if st.HeartbeatEvery > 0 && st.OnHeartbeat != nil && k.processed%st.HeartbeatEvery == 0 {
+		st.OnHeartbeat(k.processed, k.now)
+	}
 }
 
 // Run executes events until the queue drains (or the safety limit trips) and
@@ -482,6 +528,9 @@ func (k *Kernel) peek() (Time, bool) {
 			// earliest event; when the heap front is due at or before the
 			// bucket's start it already is the minimum time.
 			w.prime(t)
+			if k.stats != nil {
+				k.stats.WheelRotations++
+			}
 			if wat := w.buckets[t&w.mask][0].at; !ok || wat < at {
 				at, ok = wat, true
 			}

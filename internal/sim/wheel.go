@@ -126,6 +126,12 @@ func (k *Kernel) wheelAdd(at Time, fn Handler) bool {
 	t := w.tickIndex(at)
 	nowT := w.tickIndex(k.now)
 	if t <= nowT || t >= nowT+int64(w.nb) {
+		if k.stats != nil && t >= nowT+int64(w.nb) {
+			// Past the wheel horizon: the event overflows to the heap. (The
+			// t <= nowT case is the current-instant window bound, not an
+			// overflow.)
+			k.stats.HorizonOverflow++
+		}
 		return false
 	}
 	if w.buckets == nil {
